@@ -1,0 +1,111 @@
+// Ablation A3 — the Table 4 JCL queue fix: the get path checks a
+// separate isEmpty flag instead of the size counter.
+//
+// What the fix buys (and what this bench measures): threads that *poll*
+// the queue's emptiness — workers looking for work, monitors — read a
+// field that only changes on empty<->non-empty transitions, so at a
+// non-empty steady state they never conflict with the producers and
+// consumers mutating the queue. With the size counter, every poll
+// read-locks the very field every put/take write-locks: a guaranteed
+// conflict per operation.
+#include <cstdio>
+
+#include "api/sbd.h"
+#include "common/options.h"
+#include "common/table.h"
+#include "common/timing.h"
+#include "jcl/collections.h"
+#include "runtime/heap.h"
+
+namespace {
+using namespace sbd;
+
+class Job : public runtime::TypedRef<Job> {
+ public:
+  SBD_CLASS(AblJob, SBD_SLOT("v"))
+  SBD_FIELD_I64(0, v)
+};
+
+struct Result {
+  double seconds;
+  uint64_t contended;
+  uint64_t aborts;
+};
+
+Result run_variant(bool useFlag, int polls) {
+  runtime::GlobalRoot<jcl::MTaskQueue> queue;
+  run_sbd([&] {
+    queue.set(jcl::MTaskQueue::make(1 << 14, useFlag));
+    // Pre-fill so the queue never transitions to empty: the flag stays
+    // constant for the whole measurement.
+    for (int i = 0; i < 256; i++) queue.get().put(Job::alloc().raw());
+  });
+  auto& mgr = core::TxnManager::instance();
+  const auto before = mgr.snapshot_stats();
+  std::atomic<bool> stop{false};
+  Stopwatch sw;
+  {
+    // The producer churns the queue continuously...
+    threads::SbdThread producer([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        queue.get().put(Job::alloc().raw());
+        queue.get().take();
+        split();
+      }
+    });
+    // ...while the poller repeatedly checks for work, holding its
+    // section — and hence the read lock on the checked field — until it
+    // either observes the producer blocked on that lock (the conflict
+    // the paper's fix removes) or a short timeout passes (what happens
+    // in the flag variant, where the producer never blocks).
+    threads::SbdThread poller([&] {
+      for (int i = 0; i < polls; i++) {
+        const uint64_t contendedBefore =
+            core::TxnManager::instance().snapshot_stats().contendedAcquires;
+        (void)queue.get().empty_check();
+        Stopwatch hold;
+        while (core::TxnManager::instance().snapshot_stats().contendedAcquires ==
+                   contendedBefore &&
+               hold.seconds() < 400e-6) {
+          std::this_thread::yield();
+        }
+        split();
+      }
+      stop.store(true, std::memory_order_relaxed);
+    });
+    producer.start();
+    poller.start();
+    poller.join();
+    producer.join();
+  }
+  Result r;
+  r.seconds = sw.seconds();
+  const auto after = mgr.snapshot_stats().diff(before);
+  r.contended = after.contendedAcquires;
+  r.aborts = after.aborts;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SBD_ATTACH_THREAD();
+  Options opts(argc, argv);
+  const int polls = static_cast<int>(opts.get_int("polls", 150));
+
+  std::printf("=== Ablation A3: task-queue isEmpty flag (paper Table 4, JCL) ===\n\n");
+  const Result with = run_variant(true, polls);
+  const Result without = run_variant(false, polls);
+  TextTable t({"Variant", "Time[ms]", "Contended acq.", "Aborts"});
+  t.add_row({"isEmpty flag", TextTable::fmt(with.seconds * 1000, 1),
+             std::to_string(with.contended), std::to_string(with.aborts)});
+  t.add_row({"size counter", TextTable::fmt(without.seconds * 1000, 1),
+             std::to_string(without.contended), std::to_string(without.aborts)});
+  t.print();
+  std::printf(
+      "\nShape check: in the size-counter variant the producer blocks on the\n"
+      "poller's read lock once per poll (contended acquires ~= polls); in the\n"
+      "flag variant the poller's field never changes at a non-empty steady\n"
+      "state and the producer never blocks on it.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation A2 — final-field elision (paper §5.3: the automatically
+// added final modifiers cut Sunflow's sequential overhead by 19.4%).
+//
+// Two structurally identical classes, one with its read-mostly fields
+// declared final. A hot loop reads the fields of escaped instances; the
+// final version performs zero lock operations for those reads.
+#include <cstdio>
+
+#include "api/sbd.h"
+#include "common/options.h"
+#include "common/table.h"
+#include "common/timing.h"
+#include "runtime/heap.h"
+
+namespace {
+using namespace sbd;
+
+class WithFinals : public runtime::TypedRef<WithFinals> {
+ public:
+  SBD_CLASS(AblWithFinals, SBD_SLOT_FINAL("a"), SBD_SLOT_FINAL("b"), SBD_SLOT("acc"))
+  SBD_FIELD_FINAL_I64(0, a)
+  SBD_FIELD_FINAL_I64(1, b)
+  SBD_FIELD_I64(2, acc)
+};
+
+class NoFinals : public runtime::TypedRef<NoFinals> {
+ public:
+  SBD_CLASS(AblNoFinals, SBD_SLOT("a"), SBD_SLOT("b"), SBD_SLOT("acc"))
+  SBD_FIELD_I64(0, a)
+  SBD_FIELD_I64(1, b)
+  SBD_FIELD_I64(2, acc)
+};
+
+template <typename T>
+double run_variant(uint64_t numObjs, uint64_t rounds, uint64_t* lockOps) {
+  double seconds = 0;
+  run_sbd([&] {
+    std::vector<runtime::ManagedObject*> objs(numObjs);
+    for (uint64_t i = 0; i < numObjs; i++) {
+      T o = T::alloc();
+      o.init_a(static_cast<int64_t>(i));
+      o.init_b(static_cast<int64_t>(i * 3));
+      objs[i] = o.raw();
+    }
+    split();  // escape
+    auto& tc = core::tls_context();
+    const auto before = tc.stats;
+    Stopwatch sw;
+    int64_t sink = 0;
+    for (uint64_t r = 0; r < rounds; r++) {
+      for (uint64_t i = 0; i < numObjs; i++) {
+        T o(objs[i]);
+        sink += o.a() + o.b();
+      }
+      split();  // fresh section: re-check every lock next round
+    }
+    seconds = sw.seconds();
+    const auto after = tc.stats;
+    *lockOps = (after.acqRls - before.acqRls) + (after.checkOwned - before.checkOwned) +
+               (after.lockInit - before.lockInit);
+    T last(objs[0]);
+    last.set_acc(sink);  // keep the loop observable
+  });
+  return seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SBD_ATTACH_THREAD();
+  Options opts(argc, argv);
+  const auto objs = static_cast<uint64_t>(opts.get_int("objects", 20000));
+  const auto rounds = static_cast<uint64_t>(opts.get_int("rounds", 30));
+
+  std::printf("=== Ablation A2: final-field elision (paper 5.3) ===\n\n");
+  uint64_t opsFinal = 0, opsPlain = 0;
+  const double tFinal = run_variant<WithFinals>(objs, rounds, &opsFinal);
+  const double tPlain = run_variant<NoFinals>(objs, rounds, &opsPlain);
+  TextTable t({"Variant", "Time[ms]", "Lock ops", "vs final"});
+  t.add_row({"final fields", TextTable::fmt(tFinal * 1000, 1), std::to_string(opsFinal),
+             "1.00x"});
+  t.add_row({"plain fields", TextTable::fmt(tPlain * 1000, 1), std::to_string(opsPlain),
+             TextTable::fmt(tPlain / (tFinal > 0 ? tFinal : 1e-9), 2) + "x"});
+  t.print();
+  std::printf(
+      "\nShape check: the final variant executes (near) zero lock operations on\n"
+      "the hot reads and runs measurably faster — the effect behind the paper's\n"
+      "-19.4%% on Sunflow.\n");
+  return 0;
+}

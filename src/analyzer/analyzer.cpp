@@ -1,0 +1,282 @@
+#include "analyzer/analyzer.h"
+
+#include <cctype>
+#include <memory>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace sbd::analyzer {
+
+namespace {
+const char* kKeywords[] = {"if",     "else",  "for",   "while", "return", "struct",
+                           "class",  "int",   "long",  "void",  "char",   "double",
+                           "goto",   "break", "switch", "case"};
+
+bool is_keyword(const std::string& s) {
+  for (const char* k : kKeywords)
+    if (s == k) return true;
+  return false;
+}
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> out;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      line++;
+      i++;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      i++;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') i++;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') line++;
+        i++;
+      }
+      i = i + 2 <= n ? i + 2 : n;
+      continue;
+    }
+    if (c == '"') {
+      std::string s;
+      i++;
+      while (i < n && source[i] != '"') {
+        if (source[i] == '\\' && i + 1 < n) {
+          s.push_back(source[i + 1]);
+          i += 2;
+          continue;
+        }
+        s.push_back(source[i]);
+        i++;
+      }
+      i = i < n ? i + 1 : n;
+      out.push_back(Token{TokKind::kString, s, line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '.'))
+        num.push_back(source[i++]);
+      out.push_back(Token{TokKind::kNumber, num, line});
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string id;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_'))
+        id.push_back(source[i++]);
+      out.push_back(Token{is_keyword(id) ? TokKind::kKeyword : TokKind::kIdent, id, line});
+      continue;
+    }
+    out.push_back(Token{TokKind::kPunct, std::string(1, c), line});
+    i++;
+  }
+  return out;
+}
+
+namespace {
+
+// --- Rules -----------------------------------------------------------------
+
+class LongFunctionRule final : public Rule {
+ public:
+  explicit LongFunctionRule(int maxLines = 40) : maxLines_(maxLines) {}
+  std::string name() const override { return "LongFunction"; }
+  void check(const std::vector<Token>& toks, std::vector<Violation>& out) const override {
+    int depth = 0, startLine = 0;
+    for (const Token& t : toks) {
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "{") {
+        if (depth == 0) startLine = t.line;
+        depth++;
+      } else if (t.text == "}") {
+        depth--;
+        if (depth == 0 && t.line - startLine > maxLines_)
+          out.push_back(Violation{name(), startLine, "function body too long"});
+      }
+    }
+  }
+
+ private:
+  int maxLines_;
+};
+
+class TooManyParamsRule final : public Rule {
+ public:
+  explicit TooManyParamsRule(int maxParams = 5) : maxParams_(maxParams) {}
+  std::string name() const override { return "TooManyParams"; }
+  void check(const std::vector<Token>& toks, std::vector<Violation>& out) const override {
+    for (size_t i = 0; i + 1 < toks.size(); i++) {
+      // ident '(' ... ')' '{' = a function definition header.
+      if (toks[i].kind != TokKind::kIdent || toks[i + 1].text != "(") continue;
+      int commas = 0;
+      size_t j = i + 2;
+      int depth = 1;
+      bool any = false;
+      for (; j < toks.size() && depth > 0; j++) {
+        if (toks[j].text == "(") depth++;
+        else if (toks[j].text == ")") depth--;
+        else if (depth == 1 && toks[j].text == ",") commas++;
+        else if (depth >= 1 && toks[j].kind != TokKind::kPunct) any = true;
+      }
+      if (j < toks.size() && toks[j].text == "{" && any && commas + 1 > maxParams_)
+        out.push_back(Violation{name(), toks[i].line, "too many parameters"});
+    }
+  }
+
+ private:
+  int maxParams_;
+};
+
+class MagicNumberRule final : public Rule {
+ public:
+  std::string name() const override { return "MagicNumber"; }
+  void check(const std::vector<Token>& toks, std::vector<Violation>& out) const override {
+    for (const Token& t : toks) {
+      if (t.kind != TokKind::kNumber) continue;
+      if (t.text == "0" || t.text == "1" || t.text == "2") continue;
+      out.push_back(Violation{name(), t.line, "magic number " + t.text});
+    }
+  }
+};
+
+class DeepNestingRule final : public Rule {
+ public:
+  explicit DeepNestingRule(int maxDepth = 4) : maxDepth_(maxDepth) {}
+  std::string name() const override { return "DeepNesting"; }
+  void check(const std::vector<Token>& toks, std::vector<Violation>& out) const override {
+    int depth = 0;
+    bool reported = false;
+    for (const Token& t : toks) {
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "{") {
+        depth++;
+        if (depth > maxDepth_ && !reported) {
+          out.push_back(Violation{name(), t.line, "nesting too deep"});
+          reported = true;
+        }
+      } else if (t.text == "}") {
+        depth--;
+        if (depth <= maxDepth_) reported = false;
+      }
+    }
+  }
+
+ private:
+  int maxDepth_;
+};
+
+class UpperCamelTypeRule final : public Rule {
+ public:
+  std::string name() const override { return "UpperCamelType"; }
+  void check(const std::vector<Token>& toks, std::vector<Violation>& out) const override {
+    for (size_t i = 0; i + 1 < toks.size(); i++) {
+      if (toks[i].kind == TokKind::kKeyword &&
+          (toks[i].text == "struct" || toks[i].text == "class") &&
+          toks[i + 1].kind == TokKind::kIdent) {
+        const char c = toks[i + 1].text[0];
+        if (!std::isupper(static_cast<unsigned char>(c)))
+          out.push_back(Violation{name(), toks[i + 1].line,
+                                  "type " + toks[i + 1].text + " not UpperCamelCase"});
+      }
+    }
+  }
+};
+
+class NoGotoRule final : public Rule {
+ public:
+  std::string name() const override { return "NoGoto"; }
+  void check(const std::vector<Token>& toks, std::vector<Violation>& out) const override {
+    for (const Token& t : toks)
+      if (t.kind == TokKind::kKeyword && t.text == "goto")
+        out.push_back(Violation{name(), t.line, "goto considered harmful"});
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> default_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<LongFunctionRule>());
+  rules.push_back(std::make_unique<TooManyParamsRule>());
+  rules.push_back(std::make_unique<MagicNumberRule>());
+  rules.push_back(std::make_unique<DeepNestingRule>());
+  rules.push_back(std::make_unique<UpperCamelTypeRule>());
+  rules.push_back(std::make_unique<NoGotoRule>());
+  return rules;
+}
+
+std::vector<Violation> analyze(std::string_view source,
+                               const std::vector<std::unique_ptr<Rule>>& rules) {
+  const auto toks = lex(source);
+  std::vector<Violation> out;
+  for (const auto& r : rules) r->check(toks, out);
+  return out;
+}
+
+std::string generate_source(const SourceGenConfig& cfg, uint64_t fileId) {
+  Rng rng(mix64(cfg.seed * 7919 + fileId));
+  std::ostringstream os;
+  os << "// generated file " << fileId << "\n";
+  const char* typeNames[] = {"Widget", "gadget", "Parser", "engine", "Codec"};
+  os << "struct " << typeNames[rng.below(5)] << " { int x; };\n";
+  for (int fn = 0; fn < cfg.functionsPerFile; fn++) {
+    const int params = static_cast<int>(rng.below(8));
+    os << "int fn_" << fileId << "_" << fn << "(";
+    for (int p = 0; p < params; p++) os << (p ? ", int p" : "int p") << p;
+    os << ") {\n";
+    const int stmts = 4 + static_cast<int>(rng.below(60));
+    int depth = 1;
+    for (int s = 0; s < stmts; s++) {
+      for (int d = 0; d < depth; d++) os << "  ";
+      switch (rng.below(6)) {
+        case 0:
+          os << "int v" << s << " = " << rng.below(100) << ";\n";
+          break;
+        case 1:
+          os << "if (v0 > " << rng.below(10) << ") {\n";
+          depth++;
+          break;
+        case 2:
+          if (depth > 1) {
+            os << "}\n";
+            depth--;
+          } else {
+            os << "v0 = v0 + 1;\n";
+          }
+          break;
+        case 3:
+          os << "for (int i = 0; i < 2; i++) { v0 += i; }\n";
+          break;
+        case 4:
+          if (rng.chance(0.1)) os << "goto done;\n";
+          else os << "v0 = v0 * 2;\n";
+          break;
+        default:
+          os << "// comment line\n";
+          break;
+      }
+    }
+    while (depth > 1) {
+      os << "}\n";
+      depth--;
+    }
+    os << "done: return 0;\n}\n\n";
+  }
+  return os.str();
+}
+
+}  // namespace sbd::analyzer

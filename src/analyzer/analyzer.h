@@ -1,0 +1,69 @@
+// Mini static analyzer — the PMD benchmark analog. Lexes C-like source
+// into tokens, derives a brace-nesting structure, and runs a rule set
+// producing violations plus per-rule statistics counters. The
+// statistics counters are the contended state the paper's Table 4 fixes
+// with thread-local aggregation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbd::analyzer {
+
+enum class TokKind : uint8_t {
+  kIdent,
+  kNumber,
+  kString,
+  kPunct,
+  kKeyword,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+// Lexes C-like source; strips // and /* */ comments.
+std::vector<Token> lex(std::string_view source);
+
+struct Violation {
+  std::string rule;
+  int line;
+  std::string message;
+};
+
+// One analysis rule over a token stream.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual std::string name() const = 0;
+  virtual void check(const std::vector<Token>& tokens,
+                     std::vector<Violation>& out) const = 0;
+};
+
+// The shipped rule set:
+//   LongFunction      — function body spans more than `maxLines` lines
+//   TooManyParams     — parameter list longer than `maxParams`
+//   MagicNumber       — numeric literal other than 0/1/2 outside decls
+//   DeepNesting       — brace depth beyond `maxDepth`
+//   UpperCamelType    — struct/class names must be UpperCamelCase
+//   NoGoto            — flags goto statements
+std::vector<std::unique_ptr<Rule>> default_rules();
+
+// Runs every rule over one source file.
+std::vector<Violation> analyze(std::string_view source,
+                               const std::vector<std::unique_ptr<Rule>>& rules);
+
+// Deterministic source-file generator: function definitions with
+// seeded shapes, some of which violate each rule.
+struct SourceGenConfig {
+  uint64_t seed = 0xa11a;
+  int functionsPerFile = 12;
+};
+std::string generate_source(const SourceGenConfig& cfg, uint64_t fileId);
+
+}  // namespace sbd::analyzer

@@ -1,0 +1,37 @@
+// Lightweight invariant checking for the SBD runtime.
+//
+// SBD_CHECK is always on (cheap invariants on slow paths); SBD_DCHECK
+// compiles away outside debug builds and may sit on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sbd {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "SBD_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace sbd
+
+#define SBD_CHECK(cond)                                           \
+  do {                                                            \
+    if (!(cond)) ::sbd::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define SBD_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) ::sbd::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define SBD_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define SBD_DCHECK(cond) SBD_CHECK(cond)
+#endif

@@ -1,0 +1,47 @@
+#include "common/options.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace sbd {
+
+Options::Options(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--", 2) != 0) continue;
+    std::string body(a + 2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      kv_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      kv_[body] = argv[++i];
+    } else {
+      kv_[body] = "true";
+    }
+  }
+}
+
+bool Options::has(const std::string& name) const { return kv_.count(name) > 0; }
+
+std::string Options::get_str(const std::string& name, const std::string& def) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : it->second;
+}
+
+int64_t Options::get_int(const std::string& name, int64_t def) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Options::get_double(const std::string& name, double def) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Options::get_bool(const std::string& name, bool def) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace sbd

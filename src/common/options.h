@@ -1,0 +1,30 @@
+// Minimal command-line option parsing for bench/example binaries.
+//
+// Usage:
+//   Options opts(argc, argv);
+//   int threads = opts.get_int("threads", 4);
+//   bool quick  = opts.get_bool("quick", false);
+// Accepts --name=value and --name value; --flag alone means true.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sbd {
+
+class Options {
+ public:
+  Options(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get_str(const std::string& name, const std::string& def) const;
+  int64_t get_int(const std::string& name, int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace sbd

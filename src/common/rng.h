@@ -1,0 +1,86 @@
+// Deterministic pseudo-random number generation for workloads.
+//
+// All SBD workload generators take an explicit seed so every benchmark
+// and test run is reproducible. SplitMix64 seeds Xoshiro256**; both are
+// the reference public-domain algorithms.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sbd {
+
+// SplitMix64: used for seeding and for cheap stateless hashing.
+inline uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless 64-bit mix of a single value.
+inline uint64_t mix64(uint64_t x) {
+  uint64_t s = x;
+  return splitmix64(s);
+}
+
+// Xoshiro256** — fast, high-quality, deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5bd1e995u) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Unbiased-enough uniform in [0, bound) for workload generation.
+  uint64_t below(uint64_t bound) { return bound ? next() % bound : 0; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  bool chance(double p) { return unit() < p; }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+// Zipf-distributed sampler over [0, n): models skewed access patterns
+// (term frequencies, hot rows) used by the workload generators.
+class Zipf {
+ public:
+  Zipf(uint64_t n, double theta, uint64_t seed);
+  uint64_t next();
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+// FNV-1a hash of a string, for deterministic bucketing.
+uint64_t fnv1a(std::string_view s);
+
+}  // namespace sbd

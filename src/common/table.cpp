@@ -1,0 +1,68 @@
+#include "common/table.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sbd {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  SBD_CHECK_MSG(cells.size() <= header_.size(), "row wider than header");
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); i++) widths[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (size_t i = 0; i < row.size(); i++)
+      if (row[i].size() > widths[i]) widths[i] = row[i].size();
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); i++) {
+      os << row[i];
+      for (size_t p = row[i].size(); p < widths[i] + 2; p++) os << ' ';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TextTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string TextTable::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::fmt_pct(double frac, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, frac * 100.0);
+  return buf;
+}
+
+std::string TextTable::fmt_count(uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lluk", static_cast<unsigned long long>(v / 1000));
+  return buf;
+}
+
+std::string TextTable::fmt_bytes_k(uint64_t b) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lluk", static_cast<unsigned long long>(b / 1024));
+  return buf;
+}
+
+}  // namespace sbd

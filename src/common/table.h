@@ -1,0 +1,31 @@
+// Plain-text table formatting for the benchmark harnesses, so each
+// bench binary can print rows in the same layout as the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sbd {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Adds one row; missing cells print empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  std::string to_string() const;
+  void print() const;
+
+  // Formatting helpers.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_pct(double frac, int precision = 1);
+  static std::string fmt_count(uint64_t v);   // e.g. 186639k style like the paper
+  static std::string fmt_bytes_k(uint64_t b); // bytes -> "1280k"
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sbd

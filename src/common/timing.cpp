@@ -1,0 +1,28 @@
+#include "common/timing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sbd {
+
+SampleStats summarize(const std::vector<double>& xs) {
+  SampleStats st;
+  if (xs.empty()) return st;
+  double sum = 0;
+  st.min = xs[0];
+  st.max = xs[0];
+  for (double x : xs) {
+    sum += x;
+    st.min = std::min(st.min, x);
+    st.max = std::max(st.max, x);
+  }
+  st.mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - st.mean) * (x - st.mean);
+  var /= static_cast<double>(xs.size());
+  st.stddev = std::sqrt(var);
+  st.cov = st.mean > 0 ? st.stddev / st.mean : 0;
+  return st;
+}
+
+}  // namespace sbd

@@ -1,0 +1,74 @@
+// Wall-clock timing and steady-state measurement helpers.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace sbd {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  uint64_t nanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_)
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+inline uint64_t now_nanos() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Summary statistics over a sample window.
+struct SampleStats {
+  double mean = 0;
+  double stddev = 0;
+  double cov = 0;  // coefficient of variation
+  double min = 0;
+  double max = 0;
+};
+
+SampleStats summarize(const std::vector<double>& xs);
+
+// Steady-state measurement in the spirit of Georges et al. (OOPSLA'07),
+// which the paper uses: repeat the workload until the coefficient of
+// variation over the trailing `window` iterations drops to `covLimit`
+// (or `maxIters` is reached), then report the trailing-window mean.
+struct SteadyStateConfig {
+  int window = 5;
+  int maxIters = 12;
+  double covLimit = 0.02;
+};
+
+template <typename Fn>
+SampleStats measure_steady_state(const SteadyStateConfig& cfg, Fn&& runOnce) {
+  std::vector<double> times;
+  for (int i = 0; i < cfg.maxIters; i++) {
+    Stopwatch sw;
+    runOnce();
+    times.push_back(sw.seconds());
+    if (static_cast<int>(times.size()) >= cfg.window) {
+      std::vector<double> tail(times.end() - cfg.window, times.end());
+      SampleStats st = summarize(tail);
+      if (st.cov <= cfg.covLimit) return st;
+    }
+  }
+  std::vector<double> tail(
+      times.end() - std::min<size_t>(times.size(), static_cast<size_t>(cfg.window)),
+      times.end());
+  return summarize(tail);
+}
+
+}  // namespace sbd

@@ -1,0 +1,394 @@
+#include "db/db.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+#include "db/sql.h"
+
+namespace sbd::db {
+
+int Schema::column_index(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); i++) {
+    // Parsed SQL uppercases identifiers; schemas may use any case.
+    if (columns[i].name.size() == name.size()) {
+      bool eq = true;
+      for (size_t k = 0; k < name.size(); k++)
+        if (std::toupper(static_cast<unsigned char>(columns[i].name[k])) !=
+            std::toupper(static_cast<unsigned char>(name[k]))) {
+          eq = false;
+          break;
+        }
+      if (eq) return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------
+
+Database::Database() = default;
+Database::~Database() = default;
+
+namespace {
+std::string upper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+}  // namespace
+
+void Database::create_table(const Schema& schema) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto td = std::make_unique<TableData>();
+  td->schema = schema;
+  td->schema.table = upper(schema.table);
+  SBD_CHECK_MSG(tables_.find(td->schema.table) == tables_.end(), "table exists");
+  SBD_CHECK_MSG(!td->schema.columns[static_cast<size_t>(td->schema.pkColumn)].isText,
+                "primary key must be an INT column");
+  tables_[td->schema.table] = std::move(td);
+}
+
+bool Database::has_table(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return tables_.find(upper(name)) != tables_.end();
+}
+
+const Schema& Database::schema(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tables_.find(upper(name));
+  SBD_CHECK_MSG(it != tables_.end(), "unknown table");
+  return it->second->schema;
+}
+
+size_t Database::total_rows() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t n = 0;
+  for (const auto& [name, td] : tables_)
+    for (size_t i = 0; i < td->rows.size(); i++)
+      if (td->alive[i]) n++;
+  return n;
+}
+
+void Database::lock_row(Connection& c, const std::string& table, int64_t pk) {
+  const auto key = std::make_pair(table, pk);
+  std::unique_lock<std::mutex> lk(mu_);
+  // NB: rowLocks_ is an unordered_map; references do not survive the cv
+  // wait (other threads insert entries), so every iteration re-looks-up.
+  if (rowLocks_[key].owner == c.txnId_) return;  // already ours
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(lockTimeoutMs_);
+  rowLocks_[key].waiters++;
+  for (;;) {
+    if (rowLocks_[key].owner == 0) break;
+    if (lockCv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+      if (rowLocks_[key].owner == 0) break;
+      rowLocks_[key].waiters--;
+      throw DbDeadlock();
+    }
+  }
+  LockState& ls = rowLocks_[key];
+  ls.owner = c.txnId_;
+  ls.waiters--;
+  c.rowLocks_.push_back(key);
+}
+
+void Database::lock_table(Connection& c, const std::string& table, bool exclusive) {
+  std::unique_lock<std::mutex> lk(mu_);
+  TableLockState& ts = tableLocks_[table];
+  // Re-entrancy.
+  if (ts.xOwner == c.txnId_) return;
+  if (!exclusive && ts.sOwners.count(c.txnId_)) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(lockTimeoutMs_);
+  ts.waiters++;
+  auto compatible = [&] {
+    TableLockState& t = tableLocks_[table];
+    if (exclusive)
+      return t.xOwner == 0 && (t.sOwners.empty() ||
+                               (t.sOwners.size() == 1 && t.sOwners.count(c.txnId_)));
+    return t.xOwner == 0;
+  };
+  while (!compatible()) {
+    if (lockCv_.wait_until(lk, deadline) == std::cv_status::timeout && !compatible()) {
+      tableLocks_[table].waiters--;
+      throw DbDeadlock();
+    }
+  }
+  TableLockState& ts2 = tableLocks_[table];
+  ts2.waiters--;
+  if (exclusive) {
+    ts2.sOwners.erase(c.txnId_);  // upgrade
+    ts2.xOwner = c.txnId_;
+  } else {
+    ts2.sOwners[c.txnId_]++;
+  }
+  c.tableLocks_.push_back({table, exclusive});
+}
+
+void Database::release_locks(Connection& c) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& key : c.rowLocks_) {
+    auto it = rowLocks_.find(key);
+    if (it != rowLocks_.end() && it->second.owner == c.txnId_) {
+      it->second.owner = 0;
+      if (it->second.waiters == 0) rowLocks_.erase(it);
+    }
+  }
+  c.rowLocks_.clear();
+  for (const auto& [table, exclusive] : c.tableLocks_) {
+    auto it = tableLocks_.find(table);
+    if (it == tableLocks_.end()) continue;
+    if (exclusive && it->second.xOwner == c.txnId_) it->second.xOwner = 0;
+    it->second.sOwners.erase(c.txnId_);
+    if (it->second.xOwner == 0 && it->second.sOwners.empty() && it->second.waiters == 0)
+      tableLocks_.erase(it);
+  }
+  c.tableLocks_.clear();
+  lockCv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Statement execution
+// ---------------------------------------------------------------------------
+
+namespace {
+// Returns the pk value if the WHERE clause pins the primary key with
+// equality (the point-operation fast path).
+std::optional<int64_t> pk_equality(const Statement& st, const Schema& schema,
+                                   const std::vector<Value>& params) {
+  for (const Predicate& p : st.where) {
+    if (p.op != CmpOp::kEq) continue;
+    const int col = schema.column_index(p.column);
+    if (col == schema.pkColumn) {
+      const Value& v = resolve(p.value, params);
+      if (std::holds_alternative<int64_t>(v)) return as_int(v);
+    }
+  }
+  return std::nullopt;
+}
+
+bool row_matches(const Row& row, const Statement& st, const Schema& schema,
+                 const std::vector<Value>& params) {
+  for (const Predicate& p : st.where) {
+    const int col = schema.column_index(p.column);
+    if (col < 0) throw DbError("unknown column " + p.column);
+    if (!compare(row.values[static_cast<size_t>(col)], p.op, resolve(p.value, params)))
+      return false;
+  }
+  return true;
+}
+}  // namespace
+
+ResultSet Database::exec_parsed(Connection& c, const Statement& st,
+                                const std::vector<Value>& params) {
+  ResultSet rs;
+  if (st.kind == StmtKind::kCreate) {
+    create_table(st.createSchema);
+    return rs;
+  }
+
+  const std::string tname = upper(st.table);
+  TableData* td;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = tables_.find(tname);
+    if (it == tables_.end()) throw DbError("unknown table " + st.table);
+    td = it->second.get();
+  }
+  const Schema& schema = td->schema;
+
+  switch (st.kind) {
+    case StmtKind::kInsert: {
+      if (st.insertValues.size() != schema.columns.size())
+        throw DbError("insert arity mismatch");
+      Row row;
+      for (const Expr& e : st.insertValues) row.values.push_back(resolve(e, params));
+      const Value& pkv = row.values[static_cast<size_t>(schema.pkColumn)];
+      if (!std::holds_alternative<int64_t>(pkv)) throw DbError("pk must be INT");
+      const int64_t pk = as_int(pkv);
+      lock_row(c, tname, pk);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (td->pk.count(pk) && td->alive[td->pk[pk]])
+          throw DbError("duplicate primary key");
+        td->rows.push_back(row);
+        td->alive.push_back(true);
+        td->pk[pk] = td->rows.size() - 1;
+      }
+      c.undo_.push_back(Connection::UndoRecord{tname, pk, std::nullopt});
+      rs.updateCount = 1;
+      return rs;
+    }
+
+    case StmtKind::kSelect: {
+      const auto pk = pk_equality(st, schema, params);
+      std::vector<size_t> matches;
+      if (pk) {
+        lock_row(c, tname, *pk);
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = td->pk.find(*pk);
+        if (it != td->pk.end() && td->alive[it->second] &&
+            row_matches(td->rows[it->second], st, schema, params))
+          matches.push_back(it->second);
+      } else {
+        lock_table(c, tname, /*exclusive=*/false);
+        std::lock_guard<std::mutex> lk(mu_);
+        for (size_t i = 0; i < td->rows.size(); i++)
+          if (td->alive[i] && row_matches(td->rows[i], st, schema, params))
+            matches.push_back(i);
+      }
+      std::lock_guard<std::mutex> lk(mu_);
+      if (st.agg == AggKind::kCount) {
+        rs.columns = {"COUNT"};
+        rs.rows.push_back({Value{static_cast<int64_t>(matches.size())}});
+        return rs;
+      }
+      if (st.agg == AggKind::kSum) {
+        const int col = schema.column_index(st.aggColumn);
+        if (col < 0) throw DbError("unknown column " + st.aggColumn);
+        int64_t sum = 0;
+        for (size_t i : matches) sum += as_int(td->rows[i].values[static_cast<size_t>(col)]);
+        rs.columns = {"SUM"};
+        rs.rows.push_back({Value{sum}});
+        return rs;
+      }
+      std::vector<int> cols;
+      if (st.selectCols.empty()) {
+        for (size_t i = 0; i < schema.columns.size(); i++) {
+          cols.push_back(static_cast<int>(i));
+          rs.columns.push_back(schema.columns[i].name);
+        }
+      } else {
+        for (const auto& name : st.selectCols) {
+          const int col = schema.column_index(name);
+          if (col < 0) throw DbError("unknown column " + name);
+          cols.push_back(col);
+          rs.columns.push_back(name);
+        }
+      }
+      for (size_t i : matches) {
+        std::vector<Value> out;
+        for (int col : cols) out.push_back(td->rows[i].values[static_cast<size_t>(col)]);
+        rs.rows.push_back(std::move(out));
+      }
+      return rs;
+    }
+
+    case StmtKind::kUpdate:
+    case StmtKind::kDelete: {
+      const auto pk = pk_equality(st, schema, params);
+      std::vector<size_t> matches;
+      if (pk) {
+        lock_row(c, tname, *pk);
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = td->pk.find(*pk);
+        if (it != td->pk.end() && td->alive[it->second] &&
+            row_matches(td->rows[it->second], st, schema, params))
+          matches.push_back(it->second);
+      } else {
+        lock_table(c, tname, /*exclusive=*/true);
+        std::lock_guard<std::mutex> lk(mu_);
+        for (size_t i = 0; i < td->rows.size(); i++)
+          if (td->alive[i] && row_matches(td->rows[i], st, schema, params))
+            matches.push_back(i);
+      }
+      std::lock_guard<std::mutex> lk(mu_);
+      for (size_t i : matches) {
+        Row& row = td->rows[i];
+        const int64_t rowPk = as_int(row.values[static_cast<size_t>(schema.pkColumn)]);
+        c.undo_.push_back(Connection::UndoRecord{tname, rowPk, row});
+        if (st.kind == StmtKind::kUpdate) {
+          for (const SetClause& sc : st.sets) {
+            const int col = schema.column_index(sc.column);
+            if (col < 0) throw DbError("unknown column " + sc.column);
+            row.values[static_cast<size_t>(col)] = resolve(sc.value, params);
+          }
+        } else {
+          td->alive[i] = false;
+        }
+      }
+      rs.updateCount = static_cast<int64_t>(matches.size());
+      return rs;
+    }
+
+    default:
+      throw DbError("unsupported statement");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Connection
+// ---------------------------------------------------------------------------
+
+Connection::Connection(Database& db)
+    : db_(db), txnId_(db.txnIdGen_.fetch_add(1, std::memory_order_relaxed)) {}
+
+Connection::~Connection() {
+  if (inTxn_) rollback();
+  db_.release_locks(*this);
+}
+
+ResultSet Connection::execute(const std::string& sql, const std::vector<Value>& params) {
+  const Statement st = parse_sql(sql);
+  const bool autocommit = !inTxn_;
+  if (autocommit) begin();
+  try {
+    ResultSet rs = db_.exec_parsed(*this, st, params);
+    if (autocommit) commit();
+    return rs;
+  } catch (...) {
+    if (autocommit) rollback();
+    throw;
+  }
+}
+
+void Connection::begin() {
+  SBD_CHECK_MSG(!inTxn_, "nested DB transaction");
+  inTxn_ = true;
+  // Each transaction gets a fresh id so the lock manager's ownership
+  // checks never confuse two transactions of the same connection.
+  txnId_ = db_.txnIdGen_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Connection::commit() { end_txn(true); }
+
+void Connection::rollback() { end_txn(false); }
+
+void Connection::end_txn(bool commit) {
+  SBD_CHECK_MSG(inTxn_, "no open DB transaction");
+  if (!commit) {
+    std::lock_guard<std::mutex> lk(db_.mu_);
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+      auto& td = db_.tables_[it->table];
+      auto pkIt = td->pk.find(it->pk);
+      if (pkIt == td->pk.end()) continue;
+      const size_t idx = pkIt->second;
+      if (it->before) {
+        td->rows[idx] = *it->before;
+        td->alive[idx] = true;  // deleted rows come back
+      } else {
+        td->alive[idx] = false;  // inserted rows disappear
+        td->pk.erase(pkIt);
+      }
+    }
+  }
+  undo_.clear();
+  inTxn_ = false;
+  db_.release_locks(*this);
+}
+
+size_t Connection::undo_bytes() const {
+  size_t sum = 0;
+  for (const auto& u : undo_) {
+    sum += sizeof(UndoRecord);
+    if (u.before)
+      for (const Value& v : u.before->values)
+        sum += std::holds_alternative<std::string>(v) ? as_str(v).size() + 16 : 16;
+  }
+  return sum;
+}
+
+}  // namespace sbd::db

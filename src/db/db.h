@@ -1,0 +1,180 @@
+// Embedded relational database — the H2 benchmark substitute.
+//
+// Scope (what the TPC-C-lite workload needs, done properly):
+//   - typed tables (INT / TEXT columns) with an integer primary key
+//   - a SQL subset: CREATE TABLE, INSERT, SELECT, UPDATE, DELETE with
+//     ?-parameters, WHERE conjunctions, COUNT/SUM aggregates
+//   - ACID transactions: strict two-phase row locking for point
+//     operations (pk equality), table locks for scans, undo-log
+//     rollback, deadlock detection by timeout
+//   - a JDBC-like Connection/ResultSet API
+//
+// The SBD integration (TxDbConnection in txwrapper.h) maps an atomic
+// section onto a DB transaction, exactly as the paper integrates JDBC
+// via transactional wrappers (§5.3: "As databases use transactions we
+// integrated the JDBC classes using transactional wrappers").
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+namespace sbd::db {
+
+using Value = std::variant<std::monostate, int64_t, std::string>;
+
+inline bool is_null(const Value& v) { return std::holds_alternative<std::monostate>(v); }
+inline int64_t as_int(const Value& v) { return std::get<int64_t>(v); }
+inline const std::string& as_str(const Value& v) { return std::get<std::string>(v); }
+
+struct Column {
+  std::string name;
+  bool isText = false;
+};
+
+struct Schema {
+  std::string table;
+  std::vector<Column> columns;
+  int pkColumn = 0;  // must be an INT column
+
+  int column_index(const std::string& name) const;
+};
+
+struct Row {
+  std::vector<Value> values;
+};
+
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+  int64_t updateCount = 0;
+
+  size_t size() const { return rows.size(); }
+  int64_t int_at(size_t row, size_t col) const { return as_int(rows[row][col]); }
+  const std::string& str_at(size_t row, size_t col) const {
+    return as_str(rows[row][col]);
+  }
+};
+
+class DbError : public std::runtime_error {
+ public:
+  explicit DbError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+class DbDeadlock : public DbError {
+ public:
+  DbDeadlock() : DbError("transaction deadlock (lock wait timeout)") {}
+};
+
+class Database;
+
+// One client session. Statements run in autocommit mode unless begin()
+// opened an explicit transaction. Not thread-safe; use one per thread.
+class Connection {
+ public:
+  explicit Connection(Database& db);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  ResultSet execute(const std::string& sql, const std::vector<Value>& params = {});
+
+  void begin();
+  void commit();
+  void rollback();
+  bool in_transaction() const { return inTxn_; }
+
+  // Bytes of undo state buffered by the open transaction (Table 8).
+  size_t undo_bytes() const;
+
+ private:
+  friend class Database;
+  Database& db_;
+  uint64_t txnId_;
+  bool inTxn_ = false;
+
+  struct UndoRecord {
+    std::string table;
+    int64_t pk;
+    std::optional<Row> before;  // nullopt = row was inserted (undo = delete)
+  };
+  std::vector<UndoRecord> undo_;
+  std::vector<std::pair<std::string, int64_t>> rowLocks_;  // held until txn end
+  std::vector<std::pair<std::string, bool>> tableLocks_;   // (table, exclusive)
+
+  void end_txn(bool commit);
+};
+
+class Database {
+ public:
+  Database();
+  ~Database();
+
+  void create_table(const Schema& schema);
+  bool has_table(const std::string& name) const;
+  const Schema& schema(const std::string& name) const;
+
+  std::unique_ptr<Connection> connect() { return std::make_unique<Connection>(*this); }
+
+  // Row-lock wait timeout before declaring a deadlock.
+  void set_lock_timeout_ms(int ms) { lockTimeoutMs_ = ms; }
+
+  // Total committed row count across tables (tests/stats).
+  size_t total_rows() const;
+
+ private:
+  friend class Connection;
+
+  struct TableData {
+    Schema schema;
+    std::deque<Row> rows;                     // stable row storage
+    std::unordered_map<int64_t, size_t> pk;   // pk -> row index
+    std::vector<bool> alive;                  // tombstones for deletes
+  };
+
+  // Strict-2PL lock manager. Row locks are exclusive (point updates and
+  // the reads TPC-C performs before writing); table locks are
+  // shared/exclusive for scans and inserts.
+  struct LockKeyHash {
+    size_t operator()(const std::pair<std::string, int64_t>& k) const {
+      return std::hash<std::string>()(k.first) * 1315423911u ^
+             std::hash<int64_t>()(k.second);
+    }
+  };
+  struct LockState {
+    uint64_t owner = 0;  // 0 = free
+    int waiters = 0;
+  };
+  struct TableLockState {
+    uint64_t xOwner = 0;
+    std::unordered_map<uint64_t, int> sOwners;
+    int waiters = 0;
+  };
+
+  void lock_row(Connection& c, const std::string& table, int64_t pk);
+  void lock_table(Connection& c, const std::string& table, bool exclusive);
+  void release_locks(Connection& c);
+
+  ResultSet exec_parsed(Connection& c, const struct Statement& st,
+                        const std::vector<Value>& params);
+
+  mutable std::mutex mu_;  // guards tables_ metadata and lock tables
+  std::condition_variable lockCv_;
+  std::map<std::string, std::unique_ptr<TableData>> tables_;
+  std::unordered_map<std::pair<std::string, int64_t>, LockState, LockKeyHash> rowLocks_;
+  std::map<std::string, TableLockState> tableLocks_;
+  std::atomic<uint64_t> txnIdGen_{1};
+  int lockTimeoutMs_ = 100;
+};
+
+}  // namespace sbd::db

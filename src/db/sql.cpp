@@ -1,0 +1,270 @@
+#include "db/sql.h"
+
+#include <cctype>
+
+namespace sbd::db {
+
+namespace {
+
+struct Lexer {
+  std::string src;
+  size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < src.size() && std::isspace(static_cast<unsigned char>(src[pos]))) pos++;
+  }
+
+  bool done() {
+    skip_ws();
+    return pos >= src.size();
+  }
+
+  char peek() {
+    skip_ws();
+    return pos < src.size() ? src[pos] : '\0';
+  }
+
+  // Next token: identifier/keyword (uppercased), number, quoted string
+  // marker "'", punctuation char, or "?".
+  std::string next() {
+    skip_ws();
+    if (pos >= src.size()) return {};
+    const char c = src[pos];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string id;
+      while (pos < src.size() && (std::isalnum(static_cast<unsigned char>(src[pos])) ||
+                                  src[pos] == '_')) {
+        id.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(src[pos]))));
+        pos++;
+      }
+      return id;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[pos + 1])))) {
+      std::string num(1, c);
+      pos++;
+      while (pos < src.size() && std::isdigit(static_cast<unsigned char>(src[pos])))
+        num.push_back(src[pos++]);
+      return num;
+    }
+    if (c == '<' && pos + 1 < src.size() && (src[pos + 1] == '=' || src[pos + 1] == '>')) {
+      pos += 2;
+      return src[pos - 1] == '=' ? "<=" : "<>";
+    }
+    if (c == '>' && pos + 1 < src.size() && src[pos + 1] == '=') {
+      pos += 2;
+      return ">=";
+    }
+    pos++;
+    return std::string(1, c);
+  }
+
+  std::string peek_token() {
+    const size_t save = pos;
+    std::string t = next();
+    pos = save;
+    return t;
+  }
+
+  std::string quoted_string() {
+    // Caller consumed the opening quote token "'".
+    std::string s;
+    while (pos < src.size() && src[pos] != '\'') s.push_back(src[pos++]);
+    if (pos < src.size()) pos++;  // closing quote
+    return s;
+  }
+
+  void expect(const std::string& tok) {
+    const std::string t = next();
+    if (t != tok) throw DbError("SQL: expected '" + tok + "', got '" + t + "'");
+  }
+};
+
+bool is_number(const std::string& t) {
+  if (t.empty()) return false;
+  size_t i = t[0] == '-' ? 1 : 0;
+  if (i >= t.size()) return false;
+  for (; i < t.size(); i++)
+    if (!std::isdigit(static_cast<unsigned char>(t[i]))) return false;
+  return true;
+}
+
+Expr parse_expr(Lexer& lx, Statement& st) {
+  Expr e;
+  const std::string t = lx.next();
+  if (t == "?") {
+    e.isParam = true;
+    e.paramIndex = st.paramCount++;
+  } else if (t == "'") {
+    e.literal = lx.quoted_string();
+  } else if (is_number(t)) {
+    e.literal = static_cast<int64_t>(std::stoll(t));
+  } else {
+    throw DbError("SQL: expected value, got '" + t + "'");
+  }
+  return e;
+}
+
+CmpOp parse_op(const std::string& t) {
+  if (t == "=") return CmpOp::kEq;
+  if (t == "<") return CmpOp::kLt;
+  if (t == ">") return CmpOp::kGt;
+  if (t == "<=") return CmpOp::kLe;
+  if (t == ">=") return CmpOp::kGe;
+  if (t == "<>") return CmpOp::kNe;
+  throw DbError("SQL: unknown comparison '" + t + "'");
+}
+
+void parse_where(Lexer& lx, Statement& st) {
+  if (lx.done()) return;
+  lx.expect("WHERE");
+  for (;;) {
+    Predicate p;
+    p.column = lx.next();
+    p.op = parse_op(lx.next());
+    p.value = parse_expr(lx, st);
+    st.where.push_back(std::move(p));
+    if (lx.done() || lx.peek_token() != "AND") break;
+    lx.expect("AND");
+  }
+}
+
+}  // namespace
+
+Statement parse_sql(const std::string& sql) {
+  Lexer lx{sql};
+  Statement st;
+  const std::string head = lx.next();
+
+  if (head == "CREATE") {
+    st.kind = StmtKind::kCreate;
+    lx.expect("TABLE");
+    st.createSchema.table = lx.next();
+    st.createSchema.pkColumn = -1;
+    lx.expect("(");
+    for (;;) {
+      Column col;
+      col.name = lx.next();
+      const std::string type = lx.next();
+      if (type == "TEXT") {
+        col.isText = true;
+      } else if (type != "INT") {
+        throw DbError("SQL: unknown type '" + type + "'");
+      }
+      if (lx.peek_token() == "PRIMARY") {
+        lx.expect("PRIMARY");
+        lx.expect("KEY");
+        st.createSchema.pkColumn = static_cast<int>(st.createSchema.columns.size());
+      }
+      st.createSchema.columns.push_back(col);
+      const std::string sep = lx.next();
+      if (sep == ")") break;
+      if (sep != ",") throw DbError("SQL: expected ',' or ')'");
+    }
+    if (st.createSchema.pkColumn < 0) throw DbError("SQL: table needs a PRIMARY KEY");
+    return st;
+  }
+
+  if (head == "INSERT") {
+    st.kind = StmtKind::kInsert;
+    lx.expect("INTO");
+    st.table = lx.next();
+    lx.expect("VALUES");
+    lx.expect("(");
+    for (;;) {
+      st.insertValues.push_back(parse_expr(lx, st));
+      const std::string sep = lx.next();
+      if (sep == ")") break;
+      if (sep != ",") throw DbError("SQL: expected ',' or ')'");
+    }
+    return st;
+  }
+
+  if (head == "SELECT") {
+    st.kind = StmtKind::kSelect;
+    const std::string first = lx.next();
+    if (first == "COUNT") {
+      lx.expect("(");
+      lx.expect("*");
+      lx.expect(")");
+      st.agg = AggKind::kCount;
+    } else if (first == "SUM") {
+      lx.expect("(");
+      st.aggColumn = lx.next();
+      lx.expect(")");
+      st.agg = AggKind::kSum;
+    } else if (first == "*") {
+      // all columns
+    } else {
+      st.selectCols.push_back(first);
+      while (lx.peek_token() == ",") {
+        lx.expect(",");
+        st.selectCols.push_back(lx.next());
+      }
+    }
+    lx.expect("FROM");
+    st.table = lx.next();
+    parse_where(lx, st);
+    return st;
+  }
+
+  if (head == "UPDATE") {
+    st.kind = StmtKind::kUpdate;
+    st.table = lx.next();
+    lx.expect("SET");
+    for (;;) {
+      SetClause sc;
+      sc.column = lx.next();
+      lx.expect("=");
+      sc.value = parse_expr(lx, st);
+      st.sets.push_back(std::move(sc));
+      if (lx.peek_token() != ",") break;
+      lx.expect(",");
+    }
+    parse_where(lx, st);
+    return st;
+  }
+
+  if (head == "DELETE") {
+    st.kind = StmtKind::kDelete;
+    lx.expect("FROM");
+    st.table = lx.next();
+    parse_where(lx, st);
+    return st;
+  }
+
+  throw DbError("SQL: unknown statement '" + head + "'");
+}
+
+const Value& resolve(const Expr& e, const std::vector<Value>& params) {
+  if (!e.isParam) return e.literal;
+  if (e.paramIndex < 0 || static_cast<size_t>(e.paramIndex) >= params.size())
+    throw DbError("SQL: missing bound parameter");
+  return params[static_cast<size_t>(e.paramIndex)];
+}
+
+bool compare(const Value& lhs, CmpOp op, const Value& rhs) {
+  int cmp;
+  if (std::holds_alternative<int64_t>(lhs) && std::holds_alternative<int64_t>(rhs)) {
+    const int64_t a = as_int(lhs), b = as_int(rhs);
+    cmp = a < b ? -1 : (a > b ? 1 : 0);
+  } else if (std::holds_alternative<std::string>(lhs) &&
+             std::holds_alternative<std::string>(rhs)) {
+    cmp = as_str(lhs).compare(as_str(rhs));
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  } else {
+    return op == CmpOp::kNe;  // mismatched/null types are never equal
+  }
+  switch (op) {
+    case CmpOp::kEq: return cmp == 0;
+    case CmpOp::kLt: return cmp < 0;
+    case CmpOp::kGt: return cmp > 0;
+    case CmpOp::kLe: return cmp <= 0;
+    case CmpOp::kGe: return cmp >= 0;
+    case CmpOp::kNe: return cmp != 0;
+  }
+  return false;
+}
+
+}  // namespace sbd::db

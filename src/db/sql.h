@@ -1,0 +1,63 @@
+// SQL-subset parser for the embedded database.
+//
+// Grammar (case-insensitive keywords):
+//   CREATE TABLE t (col INT [PRIMARY KEY] | col TEXT, ...)
+//   INSERT INTO t VALUES (expr, ...)
+//   SELECT cols|*|COUNT(*)|SUM(col) FROM t [WHERE conj]
+//   UPDATE t SET col = expr [, col = expr]* [WHERE conj]
+//   DELETE FROM t [WHERE conj]
+//   conj := cmp (AND cmp)*      cmp := col (=|<|>|<=|>=|<>) expr
+//   expr := integer | 'string' | ?   (? binds positionally)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/db.h"
+
+namespace sbd::db {
+
+enum class StmtKind { kCreate, kInsert, kSelect, kUpdate, kDelete };
+enum class CmpOp { kEq, kLt, kGt, kLe, kGe, kNe };
+enum class AggKind { kNone, kCount, kSum };
+
+struct Expr {
+  bool isParam = false;
+  int paramIndex = -1;  // filled during parse, in encounter order
+  Value literal;
+};
+
+struct Predicate {
+  std::string column;
+  CmpOp op = CmpOp::kEq;
+  Expr value;
+};
+
+struct SetClause {
+  std::string column;
+  Expr value;
+};
+
+struct Statement {
+  StmtKind kind = StmtKind::kSelect;
+  std::string table;
+  Schema createSchema;                 // kCreate
+  std::vector<Expr> insertValues;      // kInsert
+  std::vector<std::string> selectCols; // kSelect ("*" = all)
+  AggKind agg = AggKind::kNone;
+  std::string aggColumn;
+  std::vector<SetClause> sets;         // kUpdate
+  std::vector<Predicate> where;
+  int paramCount = 0;
+};
+
+// Throws DbError on syntax errors.
+Statement parse_sql(const std::string& sql);
+
+// Resolves an expression against bound parameters.
+const Value& resolve(const Expr& e, const std::vector<Value>& params);
+
+bool compare(const Value& lhs, CmpOp op, const Value& rhs);
+
+}  // namespace sbd::db

@@ -1,0 +1,52 @@
+// The SBD transactional wrapper for database connections: maps the
+// enclosing atomic section onto a DB transaction. Statements executed
+// inside a section join one DB transaction that commits/rolls back with
+// the section; a DB-level deadlock aborts and retries the whole atomic
+// section (the STM owns conflict resolution end-to-end).
+#pragma once
+
+#include "core/transaction.h"
+#include "db/db.h"
+#include "tio/deferred.h"
+
+namespace sbd::db {
+
+class TxDbConnection final : public core::TxResource {
+ public:
+  explicit TxDbConnection(Database& db) : conn_(db.connect()) {}
+
+  // Executes transactionally: inside an atomic section the statement
+  // joins the section's DB transaction; outside it autocommits.
+  ResultSet execute(const std::string& sql, const std::vector<Value>& params = {}) {
+    if (tio::register_with_txn(this)) {
+      if (!conn_->in_transaction()) conn_->begin();
+      try {
+        return conn_->execute(sql, params);
+      } catch (const DbDeadlock&) {
+        // The DB chose us as the deadlock victim: roll back and retry
+        // the enclosing atomic section (its memory effects roll back
+        // through the STM undo log, the DB effects through ours).
+        conn_->rollback();
+        core::abort_and_restart(core::tls_context());
+      }
+    }
+    return conn_->execute(sql, params);
+  }
+
+  void on_commit() override {
+    if (conn_->in_transaction()) conn_->commit();
+  }
+
+  void on_abort() override {
+    if (conn_->in_transaction()) conn_->rollback();
+  }
+
+  size_t buffered_bytes() const override { return conn_->undo_bytes(); }
+
+  Connection& raw() { return *conn_; }
+
+ private:
+  std::unique_ptr<Connection> conn_;
+};
+
+}  // namespace sbd::db

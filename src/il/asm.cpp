@@ -1,0 +1,337 @@
+#include "il/asm.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "runtime/class_info.h"
+
+namespace sbd::il {
+
+namespace {
+
+struct Tok {
+  std::vector<std::string> words;
+};
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == '#') break;
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',' || c == '(' ||
+        c == ')' || c == '[' || c == ']' || c == '{' || c == '}' || c == '.' ||
+        c == '=' || c == ':' || c == '/') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+      // Structural characters that later stages need are kept as words.
+      if (c == '{' || c == '}' || c == '=' || c == ':' || c == '.' || c == '[' ||
+          c == ']' || c == '(' || c == ')' || c == '/')
+        out.emplace_back(1, c);
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool is_integer(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = s[0] == '-' ? 1 : 0;
+  if (i >= s.size()) return false;
+  for (; i < s.size(); i++)
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  return true;
+}
+
+BinOp parse_binop(const std::string& s, int line, bool& ok) {
+  ok = true;
+  if (s == "add") return BinOp::kAdd;
+  if (s == "sub") return BinOp::kSub;
+  if (s == "mul") return BinOp::kMul;
+  if (s == "div") return BinOp::kDiv;
+  if (s == "mod") return BinOp::kMod;
+  if (s == "and") return BinOp::kAnd;
+  if (s == "or") return BinOp::kOr;
+  if (s == "xor") return BinOp::kXor;
+  if (s == "lt") return BinOp::kLt;
+  if (s == "le") return BinOp::kLe;
+  if (s == "eq") return BinOp::kEq;
+  if (s == "ne") return BinOp::kNe;
+  ok = false;
+  (void)line;
+  return BinOp::kAdd;
+}
+
+// Per-function assembly state: named locals and labeled blocks.
+class FnAsm {
+ public:
+  FnAsm(Module& m, const std::string& name, const std::vector<std::string>& params,
+        bool canSplit, bool isCtor)
+      : m_(m) {
+    fn_ = m.add(name);
+    fn_->canSplit = canSplit;
+    fn_->isConstructor = isCtor;
+    fn_->numParams = static_cast<int>(params.size());
+    for (const auto& p : params) local(p, 0);
+    fn_->blocks.emplace_back();  // block 0 until the first label
+  }
+
+  int local(const std::string& name, int line) {
+    auto it = locals_.find(name);
+    if (it != locals_.end()) return it->second;
+    const int idx = static_cast<int>(locals_.size());
+    if (idx >= 120) throw AsmError(line, "too many locals");
+    locals_[name] = idx;
+    fn_->numLocals = idx + 1;
+    return idx;
+  }
+
+  int block(const std::string& label) {
+    auto it = blocks_.find(label);
+    if (it != blocks_.end()) return it->second;
+    // First label names block 0 if it is still empty and unnamed.
+    if (blocks_.empty() && fn_->blocks.size() == 1 && fn_->blocks[0].instrs.empty()) {
+      blocks_[label] = 0;
+      return 0;
+    }
+    fn_->blocks.emplace_back();
+    const int idx = static_cast<int>(fn_->blocks.size()) - 1;
+    blocks_[label] = idx;
+    return idx;
+  }
+
+  void enter_block(const std::string& label) { cur_ = block(label); }
+
+  Instr& emit(Op op) {
+    auto& b = fn_->blocks[static_cast<size_t>(cur_)];
+    b.instrs.emplace_back();
+    b.instrs.back().op = op;
+    return b.instrs.back();
+  }
+
+  Block& current() { return fn_->blocks[static_cast<size_t>(cur_)]; }
+  Function* fn() { return fn_; }
+  Module& module() { return m_; }
+
+ private:
+  Module& m_;
+  Function* fn_;
+  std::map<std::string, int> locals_;
+  std::map<std::string, int> blocks_;
+  int cur_ = 0;
+};
+
+// Parses "dst = ..." right-hand sides. `w` starts at the word after '='.
+void parse_rhs(FnAsm& fa, int dst, const std::vector<std::string>& w, size_t i,
+               int line) {
+  if (i >= w.size()) throw AsmError(line, "missing right-hand side");
+  const std::string& head = w[i];
+
+  if (is_integer(head)) {
+    auto& ins = fa.emit(Op::kConst);
+    ins.a = dst;
+    ins.imm = std::stoll(head);
+    return;
+  }
+  bool isBin;
+  const BinOp bop = parse_binop(head, line, isBin);
+  if (isBin) {
+    if (i + 2 >= w.size()) throw AsmError(line, "binop needs two operands");
+    auto& ins = fa.emit(Op::kBin);
+    ins.a = dst;
+    ins.bin = bop;
+    ins.b = fa.local(w[i + 1], line);
+    ins.c = fa.local(w[i + 2], line);
+    return;
+  }
+  if (head == "getf") {
+    // x = getf base . field
+    if (i + 3 >= w.size() || w[i + 2] != ".") throw AsmError(line, "getf base.field");
+    auto& ins = fa.emit(Op::kGetF);
+    ins.a = dst;
+    ins.b = fa.local(w[i + 1], line);
+    ins.c = std::stoi(w[i + 3]);
+    return;
+  }
+  if (head == "gete") {
+    // x = gete base [ idx ]
+    if (i + 4 >= w.size() || w[i + 2] != "[") throw AsmError(line, "gete base[idx]");
+    auto& ins = fa.emit(Op::kGetE);
+    ins.a = dst;
+    ins.b = fa.local(w[i + 1], line);
+    ins.c = fa.local(w[i + 3], line);
+    return;
+  }
+  if (head == "len") {
+    auto& ins = fa.emit(Op::kLen);
+    ins.a = dst;
+    ins.b = fa.local(w[i + 1], line);
+    return;
+  }
+  if (head == "new") {
+    // x = new ClassName / slots
+    if (i + 3 >= w.size() || w[i + 2] != "/") throw AsmError(line, "new Class/slots");
+    const std::string clsName = "ilasm::" + w[i + 1];
+    const int slots = std::stoi(w[i + 3]);
+    auto& reg = fa.module();
+    (void)reg;
+    static std::map<std::string, runtime::ClassInfo*> cache;
+    runtime::ClassInfo*& ci = cache[clsName + "/" + w[i + 3]];
+    if (!ci) {
+      std::vector<runtime::SlotDesc> descs(static_cast<size_t>(slots),
+                                           runtime::SlotDesc{"slot", false, false});
+      ci = runtime::register_class(clsName, descs);
+    }
+    auto& ins = fa.emit(Op::kNew);
+    ins.a = dst;
+    ins.cls = ci;
+    return;
+  }
+  if (head == "newarr") {
+    // x = newarr [ len ]
+    if (i + 3 >= w.size() || w[i + 1] != "[") throw AsmError(line, "newarr [len]");
+    auto& ins = fa.emit(Op::kNewArr);
+    ins.a = dst;
+    ins.b = fa.local(w[i + 2], line);
+    ins.kind = runtime::ElemKind::kI64;
+    return;
+  }
+  if (head == "call") {
+    // x = call f ( args... ) [allowSplit]
+    auto& ins = fa.emit(Op::kCall);
+    ins.a = dst;
+    ins.calleeName = w[i + 1];
+    size_t k = i + 2;
+    if (k < w.size() && w[k] == "(") {
+      k++;
+      while (k < w.size() && w[k] != ")") ins.args.push_back(fa.local(w[k++], line));
+      k++;  // ')'
+    }
+    if (k < w.size() && w[k] == "allowSplit") ins.allowSplit = true;
+    return;
+  }
+  // Plain move: x = y
+  auto& ins = fa.emit(Op::kMove);
+  ins.a = dst;
+  ins.b = fa.local(head, line);
+}
+
+void parse_stmt(FnAsm& fa, const std::vector<std::string>& w, int line) {
+  const std::string& head = w[0];
+
+  // Label: "name :"
+  if (w.size() >= 2 && w[1] == ":") {
+    fa.enter_block(head);
+    return;
+  }
+  if (head == "split") {
+    fa.emit(Op::kSplit);
+    return;
+  }
+  if (head == "print") {
+    auto& ins = fa.emit(Op::kPrint);
+    ins.a = fa.local(w[1], line);
+    return;
+  }
+  if (head == "ret") {
+    auto& ins = fa.emit(Op::kRet);
+    ins.a = w.size() > 1 ? fa.local(w[1], line) : -1;
+    return;
+  }
+  if (head == "br") {
+    fa.current().condLocal = -1;
+    fa.current().next = fa.block(w[1]);
+    return;
+  }
+  if (head == "cbr") {
+    if (w.size() < 4) throw AsmError(line, "cbr cond thenLabel elseLabel");
+    fa.current().condLocal = fa.local(w[1], line);
+    fa.current().next = fa.block(w[2]);
+    fa.current().nextAlt = fa.block(w[3]);
+    return;
+  }
+  if (head == "setf") {
+    // setf base . field = src
+    if (w.size() < 6 || w[2] != "." || w[4] != "=")
+      throw AsmError(line, "setf base.field = src");
+    auto& ins = fa.emit(Op::kSetF);
+    ins.a = fa.local(w[1], line);
+    ins.b = std::stoi(w[3]);
+    ins.c = fa.local(w[5], line);
+    return;
+  }
+  if (head == "sete") {
+    // sete base [ idx ] = src
+    if (w.size() < 7 || w[2] != "[" || w[4] != "]" || w[5] != "=")
+      throw AsmError(line, "sete base[idx] = src");
+    auto& ins = fa.emit(Op::kSetE);
+    ins.a = fa.local(w[1], line);
+    ins.b = fa.local(w[3], line);
+    ins.c = fa.local(w[6], line);
+    return;
+  }
+  if (head == "call") {
+    // Void call statement.
+    std::vector<std::string> rhs(w.begin(), w.end());
+    parse_rhs(fa, -1, rhs, 0, line);
+    return;
+  }
+  // Assignment: "dst = rhs..."
+  if (w.size() >= 3 && w[1] == "=") {
+    const int dst = fa.local(head, line);
+    parse_rhs(fa, dst, w, 2, line);
+    return;
+  }
+  throw AsmError(line, "unrecognized statement '" + head + "'");
+}
+
+}  // namespace
+
+void assemble(Module& m, const std::string& source) {
+  std::istringstream is(source);
+  std::string lineText;
+  int lineNo = 0;
+  std::unique_ptr<FnAsm> fa;
+
+  while (std::getline(is, lineText)) {
+    lineNo++;
+    auto w = split_words(lineText);
+    if (w.empty()) continue;
+
+    if (w[0] == "fn") {
+      if (fa) throw AsmError(lineNo, "nested fn (missing closing '}')");
+      if (w.size() < 2) throw AsmError(lineNo, "fn needs a name");
+      const std::string name = w[1];
+      std::vector<std::string> params;
+      size_t i = 2;
+      if (i < w.size() && w[i] == "(") {
+        i++;
+        while (i < w.size() && w[i] != ")") params.push_back(w[i++]);
+        i++;  // ')'
+      }
+      bool canSplit = false, ctor = false;
+      for (; i < w.size(); i++) {
+        if (w[i] == "canSplit") canSplit = true;
+        else if (w[i] == "constructor") ctor = true;
+        else if (w[i] == "{") break;
+      }
+      fa = std::make_unique<FnAsm>(m, name, params, canSplit, ctor);
+      continue;
+    }
+    if (w[0] == "}") {
+      if (!fa) throw AsmError(lineNo, "'}' outside a function");
+      fa.reset();
+      continue;
+    }
+    if (!fa) throw AsmError(lineNo, "statement outside a function");
+    parse_stmt(*fa, w, lineNo);
+  }
+  if (fa) throw AsmError(lineNo, "unterminated function (missing '}')");
+}
+
+}  // namespace sbd::il

@@ -1,0 +1,62 @@
+// A textual assembler for SBD-IL — the human-writable front end used by
+// tests, the il_demo example, and anyone experimenting with the
+// transformer/optimizer without writing builder code.
+//
+// Format (one instruction per line, '#' comments):
+//
+//   fn scale(x) {
+//   entry:
+//     two = 2
+//     r = mul x two
+//     ret r
+//   }
+//
+//   fn hot(p, arr, n) canSplit {
+//   entry:
+//     i = 0
+//     one = 1
+//     br loop
+//   loop:
+//     sum = getf p.0
+//     setf p.1 = sum
+//     e = gete arr[i]
+//     s = call scale(e)
+//     sum = add sum s
+//     setf p.0 = sum
+//     i = add i one
+//     c = lt i n
+//     cbr c loop done
+//   done:
+//     split
+//     ret sum
+//   }
+//
+// Locals are named and allocated on first use (parameters first);
+// blocks are labeled. Supported ops: constants, move (`x = y`),
+// binops (add sub mul div mod and or xor lt le eq ne), getf/setf,
+// gete/sete, len, new <Class>/<slots>, newarr[x], call f(args)
+// [allowSplit], split, print, ret, br, cbr.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "il/ir.h"
+
+namespace sbd::il {
+
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(int line, const std::string& msg)
+      : std::runtime_error("IL asm line " + std::to_string(line) + ": " + msg),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+// Parses `source` and adds every function to `m`. Throws AsmError.
+void assemble(Module& m, const std::string& source);
+
+}  // namespace sbd::il

@@ -1,0 +1,210 @@
+#include "il/interp.h"
+
+#include <string>
+
+#include "api/sbd.h"
+#include "common/check.h"
+#include "tio/console.h"
+
+namespace sbd::il {
+
+namespace {
+
+constexpr int kMaxLocals = 128;
+constexpr int kMaxDepth = 64;
+
+using runtime::ManagedObject;
+
+ManagedObject* as_obj(int64_t v) { return reinterpret_cast<ManagedObject*>(v); }
+
+int64_t eval_bin(BinOp op, int64_t l, int64_t r) {
+  switch (op) {
+    case BinOp::kAdd: return l + r;
+    case BinOp::kSub: return l - r;
+    case BinOp::kMul: return l * r;
+    case BinOp::kDiv: return r ? l / r : 0;
+    case BinOp::kMod: return r ? l % r : 0;
+    case BinOp::kAnd: return l & r;
+    case BinOp::kOr: return l | r;
+    case BinOp::kXor: return l ^ r;
+    case BinOp::kLt: return l < r;
+    case BinOp::kLe: return l <= r;
+    case BinOp::kEq: return l == r;
+    case BinOp::kNe: return l != r;
+  }
+  return 0;
+}
+
+int64_t exec_fn(const Module& m, const Function& f, const int64_t* args, int depth) {
+  SBD_CHECK_MSG(depth < kMaxDepth, "IL call depth exceeded");
+  SBD_CHECK_MSG(f.numLocals <= kMaxLocals, "IL function has too many locals");
+
+  auto& tc = core::tls_context();
+  // The canSplit modifier as a dynamic scope: canSplit functions open a
+  // scope (arming is the caller's job via the allowSplit flag).
+  int savedCanSplit = -1;
+  if (f.canSplit) {
+    SBD_CHECK_MSG(tc.canSplitDepth > 0 || tc.allowSplitArmed,
+                  "IL canSplit function invoked without allowSplit");
+    tc.allowSplitArmed = false;
+    tc.canSplitDepth++;
+  } else {
+    // Non-canSplit functions mask splits entirely.
+    savedCanSplit = tc.canSplitDepth;
+    tc.canSplitDepth = 0;
+  }
+
+  int64_t locals[kMaxLocals] = {};
+  for (int i = 0; i < f.numParams; i++) locals[i] = args[i];
+
+  int64_t result = 0;
+  int blockIdx = 0;
+  for (;;) {
+    const Block& b = f.blocks[static_cast<size_t>(blockIdx)];
+    bool returned = false;
+    for (const Instr& ins : b.instrs) {
+      switch (ins.op) {
+        case Op::kConst:
+          locals[ins.a] = ins.imm;
+          break;
+        case Op::kMove:
+          locals[ins.a] = locals[ins.b];
+          break;
+        case Op::kBin:
+          locals[ins.a] = eval_bin(ins.bin, locals[ins.b], locals[ins.c]);
+          break;
+        case Op::kRet:
+          result = ins.a >= 0 ? locals[ins.a] : 0;
+          returned = true;
+          break;
+        case Op::kNew:
+          locals[ins.a] = reinterpret_cast<int64_t>(
+              runtime::Heap::instance().alloc_object(ins.cls));
+          break;
+        case Op::kNewArr:
+          locals[ins.a] = reinterpret_cast<int64_t>(runtime::Heap::instance().alloc_array(
+              ins.kind, static_cast<uint64_t>(locals[ins.b])));
+          break;
+        case Op::kLock: {
+          ManagedObject* o = as_obj(locals[ins.a]);
+          SBD_CHECK_MSG(o != nullptr, "IL null dereference in lock");
+          if (ins.c >= 0) {
+            const auto idx = static_cast<uint64_t>(locals[ins.c]);
+            if (ins.mode == LockMode::kWrite)
+              runtime::tx_lock_write(tc, o, idx, &o->array_data()[idx]);
+            else
+              runtime::tx_lock_read(tc, o, idx);
+          } else {
+            const auto slot = static_cast<uint32_t>(ins.b);
+            if (ins.mode == LockMode::kWrite)
+              runtime::tx_lock_write(tc, o, slot, &o->slots()[slot]);
+            else
+              runtime::tx_lock_read(tc, o, slot);
+          }
+          break;
+        }
+        case Op::kGetF: {
+          ManagedObject* o = as_obj(locals[ins.b]);
+          SBD_CHECK_MSG(o != nullptr, "IL null dereference");
+          locals[ins.a] =
+              static_cast<int64_t>(runtime::tx_read(o, static_cast<uint32_t>(ins.c)));
+          break;
+        }
+        case Op::kSetF: {
+          ManagedObject* o = as_obj(locals[ins.a]);
+          SBD_CHECK_MSG(o != nullptr, "IL null dereference");
+          runtime::tx_write(o, static_cast<uint32_t>(ins.b),
+                            static_cast<uint64_t>(locals[ins.c]));
+          break;
+        }
+        case Op::kGetFNl: {
+          ManagedObject* o = as_obj(locals[ins.b]);
+          locals[ins.a] = static_cast<int64_t>(o->slots()[ins.c]);
+          break;
+        }
+        case Op::kSetFNl: {
+          ManagedObject* o = as_obj(locals[ins.a]);
+          o->slots()[ins.b] = static_cast<uint64_t>(locals[ins.c]);
+          break;
+        }
+        case Op::kGetE: {
+          ManagedObject* o = as_obj(locals[ins.b]);
+          locals[ins.a] = static_cast<int64_t>(
+              runtime::tx_read_elem(o, static_cast<uint64_t>(locals[ins.c])));
+          break;
+        }
+        case Op::kSetE: {
+          ManagedObject* o = as_obj(locals[ins.a]);
+          runtime::tx_write_elem(o, static_cast<uint64_t>(locals[ins.b]),
+                                 static_cast<uint64_t>(locals[ins.c]));
+          break;
+        }
+        case Op::kGetENl: {
+          ManagedObject* o = as_obj(locals[ins.b]);
+          locals[ins.a] =
+              static_cast<int64_t>(o->array_data()[static_cast<uint64_t>(locals[ins.c])]);
+          break;
+        }
+        case Op::kSetENl: {
+          ManagedObject* o = as_obj(locals[ins.a]);
+          o->array_data()[static_cast<uint64_t>(locals[ins.b])] =
+              static_cast<uint64_t>(locals[ins.c]);
+          break;
+        }
+        case Op::kLen: {
+          ManagedObject* o = as_obj(locals[ins.b]);
+          locals[ins.a] = static_cast<int64_t>(runtime::array_length(o));
+          break;
+        }
+        case Op::kCall: {
+          const Function* callee = m.get(ins.calleeName);
+          SBD_CHECK_MSG(callee != nullptr, "IL call to unknown function");
+          int64_t callArgs[kMaxLocals];
+          for (size_t k = 0; k < ins.args.size(); k++) callArgs[k] = locals[ins.args[k]];
+          if (ins.allowSplit) tc.allowSplitArmed = true;
+          const int64_t rv = exec_fn(m, *callee, callArgs, depth + 1);
+          tc.allowSplitArmed = false;
+          if (ins.a >= 0) locals[ins.a] = rv;
+          break;
+        }
+        case Op::kSplit:
+          split();
+          break;
+        case Op::kPrint:
+          tio::TxConsole::println(std::to_string(locals[ins.a]));
+          break;
+      }
+      if (returned) break;
+    }
+    if (returned) break;
+    if (b.condLocal >= 0)
+      blockIdx = locals[b.condLocal] != 0 ? b.next : b.nextAlt;
+    else if (b.next >= 0)
+      blockIdx = b.next;
+    else
+      break;  // fell off the end: implicit void return
+  }
+
+  if (f.canSplit)
+    tc.canSplitDepth--;
+  else
+    tc.canSplitDepth = savedCanSplit;
+  return result;
+}
+
+}  // namespace
+
+int64_t execute(const Module& m, const std::string& fnName,
+                const std::vector<int64_t>& args) {
+  const Function* f = m.get(fnName);
+  SBD_CHECK_MSG(f != nullptr, "IL entry function not found");
+  SBD_CHECK_MSG(static_cast<int>(args.size()) == f->numParams, "IL arity mismatch");
+  auto& tc = core::tls_context();
+  SBD_CHECK_MSG(tc.txn.active(), "IL execution requires an active atomic section");
+  int64_t a[kMaxLocals] = {};
+  for (size_t i = 0; i < args.size(); i++) a[i] = args[i];
+  if (f->canSplit) tc.allowSplitArmed = true;  // entry points are canSplit-callable
+  return exec_fn(m, *f, a, 0);
+}
+
+}  // namespace sbd::il

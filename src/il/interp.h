@@ -1,0 +1,26 @@
+// The SBD-IL interpreter: executes IL against the real STM runtime.
+//
+// Interpreter frames live on the C++ stack (a fixed locals array per
+// recursive call), so the STM's checkpoint/restore abort path rolls the
+// interpreter back together with everything else — the IL program gets
+// the managed-language frame-rebuild semantics for free.
+//
+// Lock operations (kLock) run the Figure 5 fast path and therefore feed
+// the same per-effect statistics as native code, which is what the
+// optimizer ablation (bench_ablation_ilopt) measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "il/ir.h"
+
+namespace sbd::il {
+
+// Executes `fnName` with integer/ref arguments. Must run inside an SBD
+// atomic section (e.g. under sbd::run_sbd or an SbdThread). References
+// are passed/returned as ManagedObject* cast to int64_t.
+int64_t execute(const Module& m, const std::string& fnName,
+                const std::vector<int64_t>& args = {});
+
+}  // namespace sbd::il

@@ -1,0 +1,200 @@
+#include "il/ir.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sbd::il {
+
+FnBuilder::FnBuilder(Module& m, const std::string& name, int numParams, int numLocals) {
+  fn_ = m.add(name);
+  fn_->numParams = numParams;
+  fn_->numLocals = numLocals;
+  SBD_CHECK(numLocals >= numParams);
+  fn_->blocks.emplace_back();
+}
+
+FnBuilder& FnBuilder::can_split(bool v) {
+  fn_->canSplit = v;
+  return *this;
+}
+
+FnBuilder& FnBuilder::constructor(bool v) {
+  fn_->isConstructor = v;
+  return *this;
+}
+
+int FnBuilder::block() {
+  fn_->blocks.emplace_back();
+  return static_cast<int>(fn_->blocks.size()) - 1;
+}
+
+void FnBuilder::at(int blockIdx) {
+  SBD_CHECK(blockIdx >= 0 && blockIdx < static_cast<int>(fn_->blocks.size()));
+  cur_ = blockIdx;
+}
+
+Instr& FnBuilder::emit(Op op) {
+  auto& b = fn_->blocks[static_cast<size_t>(cur_)];
+  b.instrs.emplace_back();
+  b.instrs.back().op = op;
+  return b.instrs.back();
+}
+
+void FnBuilder::cst(int dst, int64_t v) {
+  auto& i = emit(Op::kConst);
+  i.a = dst;
+  i.imm = v;
+}
+
+void FnBuilder::mov(int dst, int src) {
+  auto& i = emit(Op::kMove);
+  i.a = dst;
+  i.b = src;
+}
+
+void FnBuilder::bin(int dst, BinOp op, int lhs, int rhs) {
+  auto& i = emit(Op::kBin);
+  i.a = dst;
+  i.b = lhs;
+  i.c = rhs;
+  i.bin = op;
+}
+
+void FnBuilder::new_obj(int dst, runtime::ClassInfo* cls) {
+  auto& i = emit(Op::kNew);
+  i.a = dst;
+  i.cls = cls;
+}
+
+void FnBuilder::new_arr(int dst, runtime::ElemKind kind, int lenLocal) {
+  auto& i = emit(Op::kNewArr);
+  i.a = dst;
+  i.b = lenLocal;
+  i.kind = kind;
+}
+
+void FnBuilder::getf(int dst, int base, int field) {
+  auto& i = emit(Op::kGetF);
+  i.a = dst;
+  i.b = base;
+  i.c = field;
+}
+
+void FnBuilder::setf(int base, int field, int src) {
+  auto& i = emit(Op::kSetF);
+  i.a = base;
+  i.b = field;
+  i.c = src;
+}
+
+void FnBuilder::gete(int dst, int base, int idx) {
+  auto& i = emit(Op::kGetE);
+  i.a = dst;
+  i.b = base;
+  i.c = idx;
+}
+
+void FnBuilder::sete(int base, int idx, int src) {
+  auto& i = emit(Op::kSetE);
+  i.a = base;
+  i.b = idx;
+  i.c = src;
+}
+
+void FnBuilder::len(int dst, int base) {
+  auto& i = emit(Op::kLen);
+  i.a = dst;
+  i.b = base;
+}
+
+void FnBuilder::call(int dst, const std::string& callee, std::vector<int> args,
+                     bool allowSplit) {
+  auto& i = emit(Op::kCall);
+  i.a = dst;
+  i.calleeName = callee;
+  i.args = std::move(args);
+  i.allowSplit = allowSplit;
+}
+
+void FnBuilder::split() { emit(Op::kSplit); }
+
+void FnBuilder::print(int src) {
+  auto& i = emit(Op::kPrint);
+  i.a = src;
+}
+
+void FnBuilder::ret(int src) {
+  auto& i = emit(Op::kRet);
+  i.a = src;
+}
+
+void FnBuilder::br(int target) {
+  auto& b = fn_->blocks[static_cast<size_t>(cur_)];
+  b.condLocal = -1;
+  b.next = target;
+}
+
+void FnBuilder::cbr(int condLocal, int ifTrue, int ifFalse) {
+  auto& b = fn_->blocks[static_cast<size_t>(cur_)];
+  b.condLocal = condLocal;
+  b.next = ifTrue;
+  b.nextAlt = ifFalse;
+}
+
+std::string to_string(const Instr& i) {
+  std::ostringstream os;
+  switch (i.op) {
+    case Op::kConst: os << "l" << i.a << " = " << i.imm; break;
+    case Op::kMove: os << "l" << i.a << " = l" << i.b; break;
+    case Op::kBin: os << "l" << i.a << " = l" << i.b << " bin" << static_cast<int>(i.bin)
+                      << " l" << i.c; break;
+    case Op::kRet: os << "ret l" << i.a; break;
+    case Op::kNew: os << "l" << i.a << " = new " << (i.cls ? i.cls->name : "?"); break;
+    case Op::kNewArr: os << "l" << i.a << " = newarr[l" << i.b << "]"; break;
+    case Op::kLock: os << "lock l" << i.a << (i.c >= 0 ? ".e[l" : ".f") << i.b
+                       << (i.c >= 0 ? "]" : "")
+                       << (i.mode == LockMode::kWrite ? " W" : " R"); break;
+    case Op::kGetF: os << "l" << i.a << " = l" << i.b << ".f" << i.c; break;
+    case Op::kSetF: os << "l" << i.a << ".f" << i.b << " = l" << i.c; break;
+    case Op::kGetFNl: os << "l" << i.a << " = l" << i.b << ".f" << i.c << " [nl]"; break;
+    case Op::kSetFNl: os << "l" << i.a << ".f" << i.b << " = l" << i.c << " [nl]"; break;
+    case Op::kGetE: os << "l" << i.a << " = l" << i.b << "[l" << i.c << "]"; break;
+    case Op::kSetE: os << "l" << i.a << "[l" << i.b << "] = l" << i.c; break;
+    case Op::kGetENl: os << "l" << i.a << " = l" << i.b << "[l" << i.c << "] [nl]"; break;
+    case Op::kSetENl: os << "l" << i.a << "[l" << i.b << "] = l" << i.c << " [nl]"; break;
+    case Op::kLen: os << "l" << i.a << " = len l" << i.b; break;
+    case Op::kCall: os << "l" << i.a << " = call " << i.calleeName
+                       << (i.allowSplit ? " [allowSplit]" : ""); break;
+    case Op::kSplit: os << "split"; break;
+    case Op::kPrint: os << "print l" << i.a; break;
+  }
+  return os.str();
+}
+
+std::string to_string(const Function& f) {
+  std::ostringstream os;
+  os << "fn " << f.name << (f.canSplit ? " canSplit" : "") << " params=" << f.numParams
+     << " locals=" << f.numLocals << "\n";
+  for (size_t b = 0; b < f.blocks.size(); b++) {
+    os << " b" << b << ":\n";
+    for (const auto& i : f.blocks[b].instrs) os << "   " << to_string(i) << "\n";
+    const auto& blk = f.blocks[b];
+    if (blk.condLocal >= 0)
+      os << "   if l" << blk.condLocal << " -> b" << blk.next << " else b" << blk.nextAlt
+         << "\n";
+    else if (blk.next >= 0)
+      os << "   -> b" << blk.next << "\n";
+  }
+  return os.str();
+}
+
+int count_ops(const Function& f, Op op) {
+  int n = 0;
+  for (const auto& b : f.blocks)
+    for (const auto& i : b.instrs)
+      if (i.op == op) n++;
+  return n;
+}
+
+}  // namespace sbd::il

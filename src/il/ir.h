@@ -1,0 +1,158 @@
+// SBD-IL: a small typed intermediate representation standing in for the
+// Java bytecode the paper's Soot-based transformer operates on (§4.1).
+//
+// Pipeline (mirroring the paper):
+//   1. A front-end (the builder API) produces *raw* IL: field/element
+//      accesses with no synchronization.
+//   2. The transformer (transform.h) inserts an explicit Lock operation
+//      before every non-final access and rewrites the access to its
+//      no-lock form — the STM interface insertion.
+//   3. The optimizer (opt.h) runs the paper's three intraprocedural
+//      optimizations: redundant-lock elimination (must-locked dataflow,
+//      exploiting canSplit absence), loop hoisting of lock operations,
+//      and inlining (profile-style, by size) to widen their scope.
+//   4. The interpreter (interp.h) executes IL against the real STM.
+//
+// The verifier (verify.h) enforces the paper's §2.2 modifier rules:
+// split only in canSplit functions, canSplit callees require allowSplit
+// call sites, constructors cannot be canSplit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/class_info.h"
+
+namespace sbd::il {
+
+enum class Op {
+  kConst,    // local[a] = imm
+  kMove,     // local[a] = local[b]
+  kBin,      // local[a] = local[b] <binop> local[c]
+  kRet,      // return local[a] (a = -1: void)
+  kNew,      // local[a] = new cls
+  kNewArr,   // local[a] = new kind[local[b]]
+  kLock,     // lock local[a].field b (or element local[b] for arrays), mode
+  kGetF,     // local[a] = local[b].field c       (checked access)
+  kSetF,     // local[a].field b = local[c]
+  kGetFNl,   // no-lock variants: a prior Lock covers the access
+  kSetFNl,
+  kGetE,     // local[a] = local[b][local[c]]
+  kSetE,     // local[a][local[b]] = local[c]
+  kGetENl,
+  kSetENl,
+  kLen,      // local[a] = length(local[b])
+  kCall,     // local[a] = callee(locals in args); allowSplit per flag
+  kSplit,    // the split operation
+  kPrint,    // transactional console print of local[a]
+};
+
+enum class BinOp { kAdd, kSub, kMul, kDiv, kMod, kAnd, kOr, kXor, kLt, kLe, kEq, kNe };
+
+enum class LockMode { kRead, kWrite };
+
+struct Function;
+
+struct Instr {
+  Op op;
+  int a = -1, b = -1, c = -1;
+  int64_t imm = 0;
+  BinOp bin = BinOp::kAdd;
+  LockMode mode = LockMode::kRead;
+  runtime::ClassInfo* cls = nullptr;
+  runtime::ElemKind kind = runtime::ElemKind::kI64;
+  std::string calleeName;
+  std::vector<int> args;
+  bool allowSplit = false;
+};
+
+// A basic block: straight-line instructions plus a terminator.
+//   condLocal < 0 : unconditional jump to `next` (-1 = falls to kRet)
+//   condLocal >= 0: if local != 0 goto next else nextAlt
+struct Block {
+  std::vector<Instr> instrs;
+  int condLocal = -1;
+  int next = -1;
+  int nextAlt = -1;
+
+  bool is_exit() const { return next < 0 && condLocal < 0; }
+};
+
+struct Function {
+  std::string name;
+  int numParams = 0;
+  int numLocals = 0;  // includes params (locals [0, numParams) are params)
+  bool canSplit = false;
+  bool isConstructor = false;
+  std::vector<Block> blocks;  // entry = block 0
+};
+
+struct Module {
+  std::map<std::string, std::unique_ptr<Function>> functions;
+
+  Function* get(const std::string& name) const {
+    auto it = functions.find(name);
+    return it == functions.end() ? nullptr : it->second.get();
+  }
+  Function* add(const std::string& name) {
+    auto fn = std::make_unique<Function>();
+    fn->name = name;
+    Function* p = fn.get();
+    functions[name] = std::move(fn);
+    return p;
+  }
+};
+
+// Fluent builder for one function.
+class FnBuilder {
+ public:
+  FnBuilder(Module& m, const std::string& name, int numParams, int numLocals);
+
+  FnBuilder& can_split(bool v = true);
+  FnBuilder& constructor(bool v = true);
+
+  // Starts a new block and returns its index.
+  int block();
+  // Switches the insertion point.
+  void at(int blockIdx);
+  int current() const { return cur_; }
+
+  void cst(int dst, int64_t v);
+  void mov(int dst, int src);
+  void bin(int dst, BinOp op, int lhs, int rhs);
+  void new_obj(int dst, runtime::ClassInfo* cls);
+  void new_arr(int dst, runtime::ElemKind kind, int lenLocal);
+  void getf(int dst, int base, int field);
+  void setf(int base, int field, int src);
+  void gete(int dst, int base, int idx);
+  void sete(int base, int idx, int src);
+  void len(int dst, int base);
+  void call(int dst, const std::string& callee, std::vector<int> args,
+            bool allowSplit = false);
+  void split();
+  void print(int src);
+  void ret(int src = -1);
+
+  // Terminators.
+  void br(int target);
+  void cbr(int condLocal, int ifTrue, int ifFalse);
+
+  Function* fn() { return fn_; }
+
+ private:
+  Instr& emit(Op op);
+  Function* fn_;
+  int cur_ = 0;
+};
+
+// Textual dump (tests, debugging).
+std::string to_string(const Function& f);
+std::string to_string(const Instr& i);
+
+// Counts instructions with a given opcode (test/ablation helper).
+int count_ops(const Function& f, Op op);
+
+}  // namespace sbd::il

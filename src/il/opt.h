@@ -1,0 +1,45 @@
+// The paper's three intraprocedural compile-time optimizations (§3.3):
+//
+//   O1  Redundant-lock elimination: a Lock(base.field, mode) is removed
+//       when every control-flow path to it already established a lock
+//       of sufficient mode on the same location (must-locked forward
+//       dataflow, intersection at merges). The analysis exploits the
+//       canSplit property: calls to functions *without* canSplit cannot
+//       split the section, so held locks survive them.
+//   O2  Loop hoisting: a Lock in a loop whose base local is loop-
+//       invariant moves to the preheader when the loop cannot split
+//       (locking order is preserved because the hoisted lock is still
+//       acquired before every access it covers).
+//   O3  Inlining: small non-canSplit callees are spliced into the
+//       caller (the paper drives this from HotSpot inline profiles; we
+//       use a size threshold), widening the scope of O1/O2.
+//
+// All passes run after insert_locks() and preserve semantics: they only
+// remove or move Lock operations that are provably redundant.
+#pragma once
+
+#include "il/ir.h"
+
+namespace sbd::il {
+
+struct OptStats {
+  int locksEliminated = 0;
+  int locksHoisted = 0;
+  int callsInlined = 0;
+};
+
+// O3 — run first so O1/O2 see the widened scope.
+OptStats inline_small(Module& m, int maxCalleeInstrs = 24);
+
+// O1.
+OptStats eliminate_redundant_locks(Module& m);
+OptStats eliminate_redundant_locks(Function& f, const Module& m);
+
+// O2.
+OptStats hoist_loop_locks(Module& m);
+OptStats hoist_loop_locks(Function& f, const Module& m);
+
+// The full pipeline: O3, O1, O2, O1 again (hoisting exposes redundancy).
+OptStats optimize(Module& m);
+
+}  // namespace sbd::il

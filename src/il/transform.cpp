@@ -1,0 +1,75 @@
+#include "il/transform.h"
+
+namespace sbd::il {
+
+void insert_locks(Function& f) {
+  for (Block& b : f.blocks) {
+    std::vector<Instr> out;
+    out.reserve(b.instrs.size() * 2);
+    for (const Instr& i : b.instrs) {
+      switch (i.op) {
+        case Op::kGetF: {
+          Instr lock;
+          lock.op = Op::kLock;
+          lock.a = i.b;  // base
+          lock.b = i.c;  // field index
+          lock.c = -1;   // field, not element
+          lock.mode = LockMode::kRead;
+          out.push_back(lock);
+          Instr acc = i;
+          acc.op = Op::kGetFNl;
+          out.push_back(acc);
+          break;
+        }
+        case Op::kSetF: {
+          Instr lock;
+          lock.op = Op::kLock;
+          lock.a = i.a;  // base
+          lock.b = i.b;  // field index
+          lock.c = -1;
+          lock.mode = LockMode::kWrite;
+          out.push_back(lock);
+          Instr acc = i;
+          acc.op = Op::kSetFNl;
+          out.push_back(acc);
+          break;
+        }
+        case Op::kGetE: {
+          Instr lock;
+          lock.op = Op::kLock;
+          lock.a = i.b;  // base
+          lock.b = -1;
+          lock.c = i.c;  // index local
+          lock.mode = LockMode::kRead;
+          out.push_back(lock);
+          Instr acc = i;
+          acc.op = Op::kGetENl;
+          out.push_back(acc);
+          break;
+        }
+        case Op::kSetE: {
+          Instr lock;
+          lock.op = Op::kLock;
+          lock.a = i.a;  // base
+          lock.b = -1;
+          lock.c = i.b;  // index local
+          lock.mode = LockMode::kWrite;
+          out.push_back(lock);
+          Instr acc = i;
+          acc.op = Op::kSetENl;
+          out.push_back(acc);
+          break;
+        }
+        default:
+          out.push_back(i);
+      }
+    }
+    b.instrs = std::move(out);
+  }
+}
+
+void insert_locks(Module& m) {
+  for (auto& [name, f] : m.functions) insert_locks(*f);
+}
+
+}  // namespace sbd::il

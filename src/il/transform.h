@@ -1,0 +1,19 @@
+// The STM-interface insertion pass (§4.1): rewrites raw field/element
+// accesses into an explicit Lock operation followed by the no-lock
+// access form. This is the IL analog of the paper's bytecode
+// transformation; the optimizer then removes redundant Lock operations.
+#pragma once
+
+#include "il/ir.h"
+
+namespace sbd::il {
+
+// Rewrites every kGetF/kSetF/kGetE/kSetE into (kLock, k*Nl).
+// Accesses to final fields get no lock (Table 1); `finalMask` comes
+// from the class metadata attached to... the IL is untyped per-local,
+// so the transformer is conservative: it treats every field access as
+// non-final unless the instruction's cls says otherwise.
+void insert_locks(Function& f);
+void insert_locks(Module& m);
+
+}  // namespace sbd::il

@@ -1,0 +1,112 @@
+#include "il/verify.h"
+
+#include <sstream>
+
+namespace sbd::il {
+
+namespace {
+void check_local(const Function& f, int idx, bool allowNeg, const std::string& where,
+                 std::vector<std::string>& out) {
+  if (idx < 0 && allowNeg) return;
+  if (idx < 0 || idx >= f.numLocals) {
+    std::ostringstream os;
+    os << f.name << ": local l" << idx << " out of range at " << where;
+    out.push_back(os.str());
+  }
+}
+}  // namespace
+
+std::vector<std::string> verify(const Module& m) {
+  std::vector<std::string> diags;
+  for (const auto& [name, fptr] : m.functions) {
+    const Function& f = *fptr;
+    if (f.isConstructor && f.canSplit)
+      diags.push_back(f.name + ": constructors cannot be canSplit (V4)");
+    for (size_t bi = 0; bi < f.blocks.size(); bi++) {
+      const Block& b = f.blocks[bi];
+      std::ostringstream osb;
+      osb << "b" << bi;
+      const std::string where = osb.str();
+      if (b.condLocal >= 0) {
+        check_local(f, b.condLocal, false, where + " terminator", diags);
+        if (b.next < 0 || b.next >= static_cast<int>(f.blocks.size()) || b.nextAlt < 0 ||
+            b.nextAlt >= static_cast<int>(f.blocks.size()))
+          diags.push_back(f.name + ": branch target out of range in " + where);
+      } else if (b.next >= static_cast<int>(f.blocks.size())) {
+        diags.push_back(f.name + ": jump target out of range in " + where);
+      }
+      for (const Instr& i : b.instrs) {
+        switch (i.op) {
+          case Op::kSplit:
+            if (!f.canSplit)
+              diags.push_back(f.name + ": split in a function without canSplit (V1)");
+            break;
+          case Op::kCall: {
+            const Function* callee = m.get(i.calleeName);
+            if (!callee) {
+              diags.push_back(f.name + ": call to unknown function " + i.calleeName +
+                              " (V5)");
+              break;
+            }
+            if (callee->canSplit && !i.allowSplit)
+              diags.push_back(f.name + ": call to canSplit " + i.calleeName +
+                              " without allowSplit (V2)");
+            if (i.allowSplit && !f.canSplit)
+              diags.push_back(f.name + ": allowSplit call in a function without canSplit (V3)");
+            if (static_cast<int>(i.args.size()) != callee->numParams)
+              diags.push_back(f.name + ": arity mismatch calling " + i.calleeName +
+                              " (V5)");
+            for (int a : i.args) check_local(f, a, false, where + " call arg", diags);
+            check_local(f, i.a, true, where + " call dst", diags);
+            break;
+          }
+          case Op::kConst:
+            check_local(f, i.a, false, where, diags);
+            break;
+          case Op::kMove:
+          case Op::kLen:
+            check_local(f, i.a, false, where, diags);
+            check_local(f, i.b, false, where, diags);
+            break;
+          case Op::kBin:
+          case Op::kGetE:
+          case Op::kSetE:
+          case Op::kGetENl:
+          case Op::kSetENl:
+            check_local(f, i.a, false, where, diags);
+            check_local(f, i.b, false, where, diags);
+            check_local(f, i.c, false, where, diags);
+            break;
+          case Op::kGetF:
+          case Op::kSetF:
+          case Op::kGetFNl:
+          case Op::kSetFNl:
+            check_local(f, i.a, false, where, diags);
+            check_local(f, i.c, false, where, diags);
+            break;
+          case Op::kLock:
+            check_local(f, i.a, false, where, diags);
+            if (i.c >= 0) check_local(f, i.c, false, where, diags);
+            break;
+          case Op::kNew:
+            check_local(f, i.a, false, where, diags);
+            if (!i.cls) diags.push_back(f.name + ": new with null class (V5)");
+            break;
+          case Op::kNewArr:
+            check_local(f, i.a, false, where, diags);
+            check_local(f, i.b, false, where, diags);
+            break;
+          case Op::kRet:
+            check_local(f, i.a, true, where, diags);
+            break;
+          case Op::kPrint:
+            check_local(f, i.a, false, where, diags);
+            break;
+        }
+      }
+    }
+  }
+  return diags;
+}
+
+}  // namespace sbd::il

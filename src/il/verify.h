@@ -1,0 +1,24 @@
+// Static checking of the paper's §2.2 modifier rules on SBD-IL:
+//
+//   V1  split may appear only in canSplit functions
+//   V2  a call to a canSplit function must carry allowSplit
+//   V3  allowSplit may appear only inside canSplit functions
+//   V4  constructors cannot be canSplit (uninitialized instances must
+//       not escape an atomic section)
+//   V5  callees must exist; local indices must be in range
+//
+// (The paper's override rule — canSplit can only override canSplit —
+// has no analog here because SBD-IL has no inheritance.)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "il/ir.h"
+
+namespace sbd::il {
+
+// Returns human-readable diagnostics; empty means the module verifies.
+std::vector<std::string> verify(const Module& m);
+
+}  // namespace sbd::il

@@ -1,0 +1,109 @@
+// Adapted class library (the paper's §4.3): collection classes built on
+// the managed object model so every access goes through field-level
+// locking. These are the SBD equivalents of the JCL classes the paper
+// rewrites — including the Table 4 contention fixes:
+//
+//   MTaskQueue — optional separate isEmpty flag: take() checks the flag
+//                (which only changes on empty<->non-empty transitions)
+//                instead of `size` (which changes on every operation),
+//                removing the hottest read-write conflict.
+//
+// All collections are type-erased over ManagedObject* elements; typed
+// convenience wrappers live at the call sites.
+#pragma once
+
+#include "api/sbd.h"
+
+namespace sbd::jcl {
+
+// Growable vector of managed references (java.util.ArrayList).
+class MVector : public runtime::TypedRef<MVector> {
+ public:
+  SBD_CLASS(MVector, SBD_SLOT_REF("data"), SBD_SLOT("size"))
+
+  static MVector make(int64_t capacity = 8);
+
+  int64_t size() const;
+  bool empty() const { return size() == 0; }
+  runtime::ManagedObject* get(int64_t i) const;
+  void set(int64_t i, runtime::ManagedObject* v);
+  void push(runtime::ManagedObject* v);
+  runtime::ManagedObject* pop();  // returns null if empty
+  void clear();
+
+  template <typename T>
+  T at(int64_t i) const {
+    return T(get(i));
+  }
+};
+
+// Hash map from 64-bit keys to managed references (java.util.HashMap
+// for integral keys). Open addressing, no removal (the benchmarks never
+// remove), resize at 70% load.
+class MIntMap : public runtime::TypedRef<MIntMap> {
+ public:
+  SBD_CLASS(MIntMap, SBD_SLOT_REF("keys"), SBD_SLOT_REF("vals"), SBD_SLOT_REF("used"),
+            SBD_SLOT("size"), SBD_SLOT("capacity"))
+
+  static MIntMap make(int64_t capacity = 16);
+
+  int64_t size() const;
+  bool contains(int64_t key) const;
+  runtime::ManagedObject* get(int64_t key) const;  // null if absent
+  void put(int64_t key, runtime::ManagedObject* value);
+
+  template <typename T>
+  T at(int64_t key) const {
+    return T(get(key));
+  }
+
+ private:
+  void rehash();
+  int64_t find_slot(int64_t key, bool& present) const;
+};
+
+// Hash map from managed strings to managed references.
+class MStrMap : public runtime::TypedRef<MStrMap> {
+ public:
+  SBD_CLASS(MStrMap, SBD_SLOT_REF("hashes"), SBD_SLOT_REF("keys"), SBD_SLOT_REF("vals"),
+            SBD_SLOT("size"), SBD_SLOT("capacity"))
+
+  static MStrMap make(int64_t capacity = 16);
+
+  int64_t size() const;
+  runtime::ManagedObject* get(std::string_view key) const;
+  void put(runtime::MString key, runtime::ManagedObject* value);
+  // Inserts via `make` if absent; returns the present or fresh value.
+  template <typename MakeFn>
+  runtime::ManagedObject* get_or_put(std::string_view key, MakeFn&& make) {
+    runtime::ManagedObject* v = get(key);
+    if (v) return v;
+    runtime::ManagedObject* fresh = make();
+    put(runtime::MString::make(key), fresh);
+    return fresh;
+  }
+
+ private:
+  void rehash();
+};
+
+// Bounded MPMC task queue (ring buffer). `useEmptyFlag` enables the
+// paper's Table 4 JCL fix; with it off, take() reads `size` and
+// conflicts with every put().
+class MTaskQueue : public runtime::TypedRef<MTaskQueue> {
+ public:
+  SBD_CLASS(MTaskQueue, SBD_SLOT_REF("items"), SBD_SLOT("head"), SBD_SLOT("tail"),
+            SBD_SLOT("size"), SBD_SLOT("isEmpty"), SBD_SLOT_FINAL("useEmptyFlag"),
+            SBD_SLOT_FINAL("capacity"))
+
+  static MTaskQueue make(int64_t capacity, bool useEmptyFlag);
+
+  // Adds an element; returns false if full.
+  bool put(runtime::ManagedObject* v);
+  // Removes the head, or returns null if (observed) empty.
+  runtime::ManagedObject* take();
+  bool empty_check() const;  // the contended read the flag optimizes
+  int64_t size() const;
+};
+
+}  // namespace sbd::jcl

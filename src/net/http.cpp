@@ -1,0 +1,193 @@
+#include "net/http.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "core/transaction.h"
+
+namespace sbd::net {
+
+namespace {
+
+// Reads a CRLF- (or LF-) terminated line byte-by-byte from `readFn`.
+bool read_line(const std::function<size_t(void*, size_t)>& readFn, std::string& out) {
+  out.clear();
+  char c;
+  while (readFn(&c, 1) == 1) {
+    if (c == '\n') {
+      if (!out.empty() && out.back() == '\r') out.pop_back();
+      return true;
+    }
+    out.push_back(c);
+  }
+  return false;
+}
+
+void parse_headers(const std::function<size_t(void*, size_t)>& readFn,
+                   std::map<std::string, std::string>& headers) {
+  std::string line;
+  while (read_line(readFn, line) && !line.empty()) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string key = line.substr(0, colon);
+    size_t v = colon + 1;
+    while (v < line.size() && line[v] == ' ') v++;
+    headers[key] = line.substr(v);
+  }
+}
+
+std::string read_body(const std::function<size_t(void*, size_t)>& readFn,
+                      const std::map<std::string, std::string>& headers) {
+  auto it = headers.find("Content-Length");
+  if (it == headers.end()) return {};
+  const size_t len = static_cast<size_t>(std::stoul(it->second));
+  std::string body(len, '\0');
+  size_t got = 0;
+  while (got < len) {
+    const size_t n = readFn(body.data() + got, len - got);
+    if (n == 0) break;
+    got += n;
+  }
+  body.resize(got);
+  return body;
+}
+
+}  // namespace
+
+bool read_request(const std::function<size_t(void*, size_t)>& readFn, HttpRequest& out) {
+  std::string line;
+  if (!read_line(readFn, line) || line.empty()) return false;
+  std::istringstream ls(line);
+  std::string version;
+  ls >> out.method >> out.path >> version;
+  parse_headers(readFn, out.headers);
+  out.body = read_body(readFn, out.headers);
+  return true;
+}
+
+bool read_response(const std::function<size_t(void*, size_t)>& readFn,
+                   HttpResponse& out) {
+  std::string line;
+  if (!read_line(readFn, line) || line.empty()) return false;
+  std::istringstream ls(line);
+  std::string version;
+  ls >> version >> out.status;
+  parse_headers(readFn, out.headers);
+  out.body = read_body(readFn, out.headers);
+  return true;
+}
+
+std::string serialize(const HttpRequest& req) {
+  std::ostringstream os;
+  os << req.method << ' ' << req.path << " HTTP/1.1\r\n";
+  for (const auto& [k, v] : req.headers) os << k << ": " << v << "\r\n";
+  if (!req.body.empty()) os << "Content-Length: " << req.body.size() << "\r\n";
+  os << "\r\n" << req.body;
+  return os.str();
+}
+
+std::string serialize(const HttpResponse& resp) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << resp.status << (resp.status == 200 ? " OK" : " ERR") << "\r\n";
+  for (const auto& [k, v] : resp.headers) os << k << ": " << v << "\r\n";
+  os << "Content-Length: " << resp.body.size() << "\r\n\r\n" << resp.body;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// TxSocket
+// ---------------------------------------------------------------------------
+
+void TxSocket::connect(int port) {
+  auto* tc = core::tls_context_if_present();
+  if (tc && tc->txn.active()) {
+    tc->txn.defer([this, port] { sock_ = Network::instance().connect(port); });
+  } else {
+    sock_ = Network::instance().connect(port);
+  }
+}
+
+size_t TxSocket::read(void* out, size_t n) {
+  // Loop shape matters for abort/retry: a retry resumes just after the
+  // blocking split below and must serve the (rearmed) replay buffer
+  // before touching the wire again, so every pass starts from the top.
+  for (;;) {
+    const bool inTxn = tio::register_with_txn(this);
+    if (inTxn) {
+      const size_t got = replay_.serve(out, n);
+      if (got > 0) return got;
+    }
+    auto& tc = core::tls_context();
+    if (inTxn && sock_.available() == 0) {
+      // Reading from an empty stream is waiting for another thread's
+      // update: per §3.5 the waiter must end its section and release
+      // its transaction id, or id-starved peers could never produce the
+      // data (the 2N-threads > 56-ids case of the Tomcat benchmark).
+      // Such a read is a REQUIRED split: composing it into a noSplit
+      // block (§3.7) would deadlock, so it is rejected outright — the
+      // paper's splitOptional rule.
+      SBD_CHECK_MSG(tc.noSplitDepth == 0,
+                    "blocking socket read inside a noSplit block (§3.7: this "
+                    "operation must be able to split)");
+      bool readable = true;
+      core::split_section_releasing_id(tc, [&] {
+        core::Safepoint::SafeScope safe(tc);
+        readable = sock_.wait_readable();
+      });
+      if (!readable) return 0;  // peer closed with nothing buffered: EOF
+      continue;  // fresh section: re-register and serve replay first
+    }
+    size_t fresh;
+    {
+      core::Safepoint::SafeScope safe(tc);
+      fresh = sock_.read(static_cast<uint8_t*>(out), n);
+    }
+    if (inTxn && fresh) replay_.consumed(static_cast<uint8_t*>(out), fresh);
+    return fresh;
+  }
+}
+
+void TxSocket::write(std::string_view data) {
+  if (tio::register_with_txn(this)) {
+    writeBuf_.append(data);
+  } else {
+    sock_.write(data.data(), data.size());
+  }
+}
+
+void TxSocket::on_commit() {
+  if (!writeBuf_.empty()) {
+    sock_.write(writeBuf_.bytes().data(), writeBuf_.size());
+    writeBuf_.clear();
+  }
+  replay_.on_commit();
+}
+
+void TxSocket::on_abort() {
+  writeBuf_.clear();
+  replay_.on_abort();
+}
+
+// ---------------------------------------------------------------------------
+// SessionStore / StringManager
+// ---------------------------------------------------------------------------
+
+int64_t SessionStore::bump(const std::string& sid) { return ++counters_[sid]; }
+
+int64_t SessionStore::lookup(const std::string& sid) const {
+  auto it = counters_.find(sid);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::string StringManager::status_message(int code, const std::string& detail) {
+  const std::string key = std::to_string(code) + ":" + detail;
+  if (cacheEnabled_) {
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  std::string msg = "status " + std::to_string(code) + " (" + detail + ")";
+  if (cacheEnabled_) cache_[key] = msg;
+  return msg;
+}
+
+}  // namespace sbd::net

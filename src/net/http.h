@@ -1,0 +1,106 @@
+// Minimal HTTP/1.1 framing over the loopback network, plus the
+// transactional socket wrapper and server-side helpers (sessions,
+// string manager) used by the Tomcat benchmark analog.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/resource.h"
+#include "net/loopback.h"
+#include "tio/deferred.h"
+
+namespace sbd::net {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+// Reads one request from `readFn` (a blocking byte source). Returns
+// false on clean EOF before the first byte.
+bool read_request(const std::function<size_t(void*, size_t)>& readFn, HttpRequest& out);
+bool read_response(const std::function<size_t(void*, size_t)>& readFn, HttpResponse& out);
+
+std::string serialize(const HttpRequest& req);
+std::string serialize(const HttpResponse& resp);
+
+// Transactional socket wrapper (§4.4's worked example): reads consumed
+// inside an atomic section are recorded in B_R and replayed after an
+// abort; writes go to B_W and reach the wire only at commit.
+//
+// PLACEMENT RULE: like every TxResource with internal buffers, a
+// TxSocket must live OFF the SBD stack (heap, or a frame above the
+// anchor). A checkpoint restore would roll a stack-resident wrapper's
+// buffers back and lose consumed input that only the replay buffer can
+// re-serve. Benchmarks heap-allocate per-connection wrappers.
+class TxSocket final : public core::TxResource {
+ public:
+  TxSocket() = default;
+  explicit TxSocket(Socket s) : sock_(s) {}
+
+  // Defers establishing the connection to the current section's commit
+  // (like a thread start, §3.5): an aborted section never half-opens a
+  // connection, and a retry re-defers instead of connecting twice. The
+  // socket is usable from the next section on. Immediate outside
+  // sections.
+  void connect(int port);
+
+  size_t read(void* out, size_t n);
+  void write(std::string_view data);
+
+  void on_commit() override;
+  void on_abort() override;
+  size_t buffered_bytes() const override { return writeBuf_.size() + replay_.size(); }
+
+  void close() { sock_.close(); }
+  Socket& raw() { return sock_; }
+
+ private:
+  Socket sock_;
+  tio::ReplayBuffer replay_;
+  tio::DeferBuffer writeBuf_;
+};
+
+// Session store keyed by session id (the Tomcat analog's per-client
+// state). Thread-safety is the caller's concern: the baseline variant
+// wraps it in a mutex, the SBD variant rebuilds it on managed state.
+class SessionStore {
+ public:
+  // Returns the session id's counter after incrementing (the workload's
+  // per-session state mutation).
+  int64_t bump(const std::string& sid);
+  int64_t lookup(const std::string& sid) const;
+  size_t size() const { return counters_.size(); }
+
+ private:
+  std::map<std::string, int64_t> counters_;
+};
+
+// The string manager of the Tomcat analog: formats status messages with
+// an optional memoization cache. The paper *disables* this cache in the
+// SBD variant because every cache hit is a shared-map read-write
+// conflict (Table 4 "Remove" row) — keep the flag so the ablation bench
+// can measure exactly that.
+class StringManager {
+ public:
+  explicit StringManager(bool enableCache) : cacheEnabled_(enableCache) {}
+
+  std::string status_message(int code, const std::string& detail);
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  bool cacheEnabled_;
+  std::map<std::string, std::string> cache_;
+};
+
+}  // namespace sbd::net

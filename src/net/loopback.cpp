@@ -1,0 +1,165 @@
+#include "net/loopback.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace sbd::net {
+
+// ---------------------------------------------------------------------------
+// Pipe
+// ---------------------------------------------------------------------------
+
+size_t Pipe::read(void* out, size_t n) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return !buf_.empty() || writeClosed_; });
+  if (buf_.empty()) return 0;  // EOF
+  const size_t take = std::min(n, buf_.size());
+  auto* p = static_cast<uint8_t*>(out);
+  for (size_t i = 0; i < take; i++) {
+    p[i] = buf_.front();
+    buf_.pop_front();
+  }
+  cv_.notify_all();  // writers waiting for space
+  return take;
+}
+
+void Pipe::write(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  size_t written = 0;
+  while (written < n) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return buf_.size() < capacity_ || readClosed_; });
+    if (readClosed_) return;  // peer is gone; drop (like EPIPE w/o signal)
+    const size_t room = capacity_ - buf_.size();
+    const size_t take = std::min(room, n - written);
+    buf_.insert(buf_.end(), p + written, p + written + take);
+    written += take;
+    cv_.notify_all();
+  }
+}
+
+void Pipe::close_write() {
+  std::lock_guard<std::mutex> lk(mu_);
+  writeClosed_ = true;
+  cv_.notify_all();
+}
+
+void Pipe::close_read() {
+  std::lock_guard<std::mutex> lk(mu_);
+  readClosed_ = true;
+  cv_.notify_all();
+}
+
+size_t Pipe::available() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return buf_.size();
+}
+
+bool Pipe::wait_readable() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return !buf_.empty() || writeClosed_; });
+  return !buf_.empty();
+}
+
+// ---------------------------------------------------------------------------
+// Socket
+// ---------------------------------------------------------------------------
+
+void Socket::close() {
+  if (out_) out_->close_write();
+  if (in_) in_->close_read();
+}
+
+// ---------------------------------------------------------------------------
+// Listener / Network
+// ---------------------------------------------------------------------------
+
+struct Listener::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Socket> pending;
+  bool closed = false;
+};
+
+Socket Listener::accept() {
+  std::unique_lock<std::mutex> lk(state_->mu);
+  state_->cv.wait(lk, [&] { return !state_->pending.empty() || state_->closed; });
+  if (state_->pending.empty()) return Socket();
+  Socket s = std::move(state_->pending.front());
+  state_->pending.pop_front();
+  return s;
+}
+
+void Listener::close() {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  state_->closed = true;
+  state_->cv.notify_all();
+}
+
+struct Network::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<int, std::shared_ptr<Listener::State>> ports;
+};
+
+std::shared_ptr<Network::Impl> Network::init() { return std::make_shared<Impl>(); }
+
+Network& Network::instance() {
+  static Network* net = new Network();
+  return *net;
+}
+
+Listener Network::listen(int port) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  SBD_CHECK_MSG(impl_->ports.find(port) == impl_->ports.end() ||
+                    impl_->ports[port]->closed,
+                "port already bound");
+  auto state = std::make_shared<Listener::State>();
+  impl_->ports[port] = state;
+  impl_->cv.notify_all();
+  Listener l;
+  l.state_ = state;
+  return l;
+}
+
+Socket Network::connect(int port) {
+  std::shared_ptr<Listener::State> state;
+  {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    impl_->cv.wait_for(lk, std::chrono::seconds(5), [&] {
+      auto it = impl_->ports.find(port);
+      return it != impl_->ports.end() && !it->second->closed;
+    });
+    auto it = impl_->ports.find(port);
+    SBD_CHECK_MSG(it != impl_->ports.end() && !it->second->closed,
+                  "connect: no listener on port");
+    state = it->second;
+  }
+  // Connection pipes are network-owned (never freed): socket handles
+  // must stay trivially destructible for checkpoint-restore safety, so
+  // no handle can carry ownership. An in-memory connection costs two
+  // drained deques — the moral equivalent of kernel socket buffers.
+  auto* c2s = new Pipe();
+  auto* s2c = new Pipe();
+  Socket client(s2c, c2s);
+  Socket server(c2s, s2c);
+  {
+    std::lock_guard<std::mutex> lk(state->mu);
+    state->pending.push_back(std::move(server));
+    state->cv.notify_all();
+  }
+  return client;
+}
+
+void Network::reset() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  for (auto& [port, state] : impl_->ports) {
+    std::lock_guard<std::mutex> slk(state->mu);
+    state->closed = true;
+    state->cv.notify_all();
+  }
+  impl_->ports.clear();
+}
+
+}  // namespace sbd::net

@@ -1,0 +1,112 @@
+// In-memory loopback network — the paper's network I/O substitute.
+// Provides blocking stream sockets and listeners with close semantics,
+// so the HTTP substrate exercises real request/response framing and the
+// transactional socket wrappers exercise real replay/deferral, without
+// a kernel network stack.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <type_traits>
+
+namespace sbd::net {
+
+// One direction of a connection: a bounded byte pipe.
+class Pipe {
+ public:
+  explicit Pipe(size_t capacity = 256 * 1024) : capacity_(capacity) {}
+
+  // Blocks until at least one byte is available or the writer closed.
+  // Returns bytes read (0 = clean EOF).
+  size_t read(void* out, size_t n);
+
+  // Blocks if the pipe is full; drops the data if the reader closed.
+  void write(const void* data, size_t n);
+
+  void close_write();
+  void close_read();
+  size_t available() const;
+
+  // Blocks until data is readable or the writer closed; true if data.
+  bool wait_readable();
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<uint8_t> buf_;
+  size_t capacity_;
+  bool writeClosed_ = false;
+  bool readClosed_ = false;
+};
+
+// A bidirectional endpoint (one side of a socket pair).
+//
+// Restore-safety: Socket is TRIVIALLY DESTRUCTIBLE on purpose — socket
+// handles live on SBD stacks that the abort path restores byte-wise,
+// so they must not own heap state through destructors. The pipes
+// behind a connection are owned by the network (never freed while the
+// process runs, like kernel socket buffers); close() is idempotent.
+class Socket {
+ public:
+  Socket() = default;
+  Socket(Pipe* in, Pipe* out) : in_(in), out_(out) {}
+
+  bool valid() const { return in_ != nullptr; }
+
+  // Blocking; returns 0 at EOF (peer closed).
+  size_t read(void* out, size_t n) { return in_->read(out, n); }
+  void write(const void* data, size_t n) { out_->write(data, n); }
+  void write(std::string_view s) { write(s.data(), s.size()); }
+
+  size_t available() const { return in_->available(); }
+  bool wait_readable() { return in_->wait_readable(); }
+
+  void close();
+
+ private:
+  Pipe* in_ = nullptr;
+  Pipe* out_ = nullptr;
+};
+static_assert(std::is_trivially_destructible_v<Socket>,
+              "socket handles must survive checkpoint restores");
+
+// A listening port: accept() blocks for the next incoming connection.
+class Listener {
+ public:
+  // Returns an invalid socket when the listener is closed.
+  Socket accept();
+  void close();
+
+ private:
+  friend class Network;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+// The process-wide virtual network.
+class Network {
+ public:
+  static Network& instance();
+
+  // Binds a port; throws if already bound.
+  Listener listen(int port);
+
+  // Blocks until the port has a listener (bounded wait), then returns
+  // the client end of a fresh socket pair.
+  Socket connect(int port);
+
+  // Unbinds everything (test isolation).
+  void reset();
+
+ private:
+  Network() = default;
+  struct Impl;
+  std::shared_ptr<Impl> impl_ = init();
+  static std::shared_ptr<Impl> init();
+};
+
+}  // namespace sbd::net

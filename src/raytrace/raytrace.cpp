@@ -1,0 +1,164 @@
+#include "raytrace/raytrace.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sbd::raytrace {
+
+double Vec3::norm() const { return std::sqrt(x * x + y * y + z * z); }
+
+Vec3 Vec3::normalized() const {
+  const double n = norm();
+  return n > 0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+}
+
+Scene demo_scene(uint64_t seed, int numSpheres) {
+  Scene s;
+  Rng rng(seed);
+  for (int i = 0; i < numSpheres; i++) {
+    Sphere sp;
+    sp.center = {rng.unit() * 8 - 4, 0.3 + rng.unit() * 2.2, rng.unit() * 8 - 2};
+    sp.radius = 0.25 + rng.unit() * 0.6;
+    sp.mat.color = {0.3 + rng.unit() * 0.7, 0.3 + rng.unit() * 0.7, 0.3 + rng.unit() * 0.7};
+    sp.mat.reflect = rng.chance(0.3) ? 0.4 : 0.0;
+    sp.mat.diffuse = 0.6 + rng.unit() * 0.3;
+    sp.mat.specular = 0.1 + rng.unit() * 0.4;
+    s.spheres.push_back(sp);
+  }
+  Plane ground;
+  ground.point = {0, 0, 0};
+  ground.normal = {0, 1, 0};
+  ground.mat.color = {0.8, 0.8, 0.85};
+  ground.mat.reflect = 0.15;
+  s.planes.push_back(ground);
+  s.lights.push_back(Light{{-5, 8, -4}, {1.0, 0.95, 0.9}});
+  s.lights.push_back(Light{{6, 5, -2}, {0.4, 0.45, 0.55}});
+  return s;
+}
+
+bool hit_sphere(const Sphere& sp, const Ray& r, double& tOut) {
+  const Vec3 oc = r.origin - sp.center;
+  const double b = oc.dot(r.dir);
+  const double c = oc.dot(oc) - sp.radius * sp.radius;
+  const double disc = b * b - c;
+  if (disc < 0) return false;
+  const double sq = std::sqrt(disc);
+  double t = -b - sq;
+  if (t < 1e-4) t = -b + sq;
+  if (t < 1e-4) return false;
+  tOut = t;
+  return true;
+}
+
+bool hit_plane(const Plane& pl, const Ray& r, double& tOut) {
+  const double denom = pl.normal.dot(r.dir);
+  if (std::fabs(denom) < 1e-9) return false;
+  const double t = (pl.point - r.origin).dot(pl.normal) / denom;
+  if (t < 1e-4) return false;
+  tOut = t;
+  return true;
+}
+
+void apply_plane_pattern(HitInfo& hit) {
+  const int cx = static_cast<int>(std::floor(hit.point.x));
+  const int cz = static_cast<int>(std::floor(hit.point.z));
+  if (((cx + cz) & 1) != 0) hit.mat.color = hit.mat.color * 0.55;
+}
+
+HitInfo intersect(const Scene& scene, const Ray& ray) {
+  HitInfo best;
+  double bestT = 1e30;
+  for (const Sphere& sp : scene.spheres) {
+    double t;
+    if (hit_sphere(sp, ray, t) && t < bestT) {
+      bestT = t;
+      best.hit = true;
+      best.t = t;
+      best.point = ray.origin + ray.dir * t;
+      best.normal = (best.point - sp.center).normalized();
+      best.mat = sp.mat;
+    }
+  }
+  for (const Plane& pl : scene.planes) {
+    double t;
+    if (hit_plane(pl, ray, t) && t < bestT) {
+      bestT = t;
+      best.hit = true;
+      best.t = t;
+      best.point = ray.origin + ray.dir * t;
+      best.normal = pl.normal.normalized();
+      best.mat = pl.mat;
+      apply_plane_pattern(best);  // checkerboard for visual structure
+    }
+  }
+  return best;
+}
+
+Vec3 trace(const Scene& scene, const Ray& ray, int depth) {
+  const HitInfo hit = intersect(scene, ray);
+  if (!hit.hit) return scene.background;
+  Vec3 color{0, 0, 0};
+  for (const Light& light : scene.lights) {
+    const Vec3 toLight = (light.pos - hit.point);
+    const double dist = toLight.norm();
+    const Vec3 l = toLight.normalized();
+    // Shadow probe.
+    Ray shadow{hit.point + hit.normal * 1e-3, l};
+    const HitInfo sh = intersect(scene, shadow);
+    if (sh.hit && sh.t < dist) continue;
+    const double nDotL = hit.normal.dot(l);
+    if (nDotL > 0)
+      color = color + hit.mat.color.mul(light.color) * (hit.mat.diffuse * nDotL);
+    // Blinn-Phong specular.
+    const Vec3 h = (l - ray.dir).normalized();
+    const double nDotH = hit.normal.dot(h);
+    if (nDotH > 0)
+      color = color + light.color * (hit.mat.specular * std::pow(nDotH, 32.0));
+  }
+  if (hit.mat.reflect > 0 && depth > 0) {
+    const Vec3 r = ray.dir - hit.normal * (2.0 * ray.dir.dot(hit.normal));
+    Ray refl{hit.point + hit.normal * 1e-3, r.normalized()};
+    color = color + trace(scene, refl, depth - 1) * hit.mat.reflect;
+  }
+  return color;
+}
+
+Ray camera_ray(const Scene& scene, int px, int py, int width, int height) {
+  const Vec3 forward = (scene.cameraLookAt - scene.cameraPos).normalized();
+  const Vec3 right = forward.cross(Vec3{0, 1, 0}).normalized();
+  const Vec3 up = right.cross(forward);
+  const double aspect = static_cast<double>(width) / height;
+  const double tanFov = std::tan(scene.fov * 0.5 * M_PI / 180.0);
+  const double u = (2.0 * (px + 0.5) / width - 1.0) * tanFov * aspect;
+  const double v = (1.0 - 2.0 * (py + 0.5) / height) * tanFov;
+  return Ray{scene.cameraPos, (forward + right * u + up * v).normalized()};
+}
+
+uint32_t pack_color(const Vec3& c) {
+  auto chan = [](double v) {
+    if (v < 0) v = 0;
+    if (v > 1) v = 1;
+    return static_cast<uint32_t>(std::pow(v, 1.0 / 2.2) * 255.0 + 0.5);
+  };
+  return (chan(c.x) << 16) | (chan(c.y) << 8) | chan(c.z);
+}
+
+void render_rows(const Scene& scene, int width, int height, int yBegin, int yEnd,
+                 uint32_t* out) {
+  for (int y = yBegin; y < yEnd; y++)
+    for (int x = 0; x < width; x++)
+      out[static_cast<size_t>(y) * width + x] =
+          pack_color(trace(scene, camera_ray(scene, x, y, width, height)));
+}
+
+uint64_t image_checksum(const uint32_t* pixels, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; i++) {
+    h ^= pixels[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace sbd::raytrace

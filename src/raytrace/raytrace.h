@@ -1,0 +1,107 @@
+// Small ray tracer — the Sunflow benchmark analog: a CPU-bound, no-I/O
+// workload whose threads read a shared scene and write a shared image
+// buffer under a shared tile counter. In the paper this benchmark has
+// the highest SBD overhead (~100%) because nearly every instruction is
+// a managed memory access; the analog reproduces that access pattern.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sbd::raytrace {
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  Vec3 mul(const Vec3& o) const { return {x * o.x, y * o.y, z * o.z}; }
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const;
+  Vec3 normalized() const;
+};
+
+struct Ray {
+  Vec3 origin;
+  Vec3 dir;  // normalized
+};
+
+struct Material {
+  Vec3 color{1, 1, 1};
+  double diffuse = 0.8;
+  double specular = 0.2;
+  double reflect = 0.0;
+};
+
+struct Sphere {
+  Vec3 center;
+  double radius = 1;
+  Material mat;
+};
+
+struct Plane {
+  Vec3 point;
+  Vec3 normal;
+  Material mat;
+};
+
+struct Light {
+  Vec3 pos;
+  Vec3 color{1, 1, 1};
+};
+
+struct Scene {
+  std::vector<Sphere> spheres;
+  std::vector<Plane> planes;
+  std::vector<Light> lights;
+  Vec3 background{0.05, 0.07, 0.1};
+  Vec3 cameraPos{0, 1.5, -6};
+  Vec3 cameraLookAt{0, 1, 0};
+  double fov = 60.0;
+};
+
+// The deterministic demo scene used by the benchmark (seeded sphere
+// grid + ground plane + two lights).
+Scene demo_scene(uint64_t seed, int numSpheres = 24);
+
+struct HitInfo {
+  bool hit = false;
+  double t = 0;
+  Vec3 point;
+  Vec3 normal;
+  Material mat;
+};
+
+HitInfo intersect(const Scene& scene, const Ray& ray);
+
+// Primitive intersection tests (exposed so alternative scene storages —
+// e.g. the SBD benchmark's managed struct-of-arrays scene — can run the
+// exact same math and produce bit-identical images).
+bool hit_sphere(const Sphere& sp, const Ray& r, double& tOut);
+bool hit_plane(const Plane& pl, const Ray& r, double& tOut);
+// Applies the plane checkerboard used by intersect().
+void apply_plane_pattern(HitInfo& hit);
+
+// Full shading with shadows and up to `depth` reflection bounces.
+Vec3 trace(const Scene& scene, const Ray& ray, int depth = 2);
+
+// Generates the camera ray for pixel (px, py) of a width x height image.
+Ray camera_ray(const Scene& scene, int px, int py, int width, int height);
+
+// Packs a color into 0xRRGGBB with gamma 2.2.
+uint32_t pack_color(const Vec3& c);
+
+// Renders [yBegin, yEnd) rows into `out` (row-major, width*height).
+// Threading is the caller's concern (tile queues in the benchmark).
+void render_rows(const Scene& scene, int width, int height, int yBegin, int yEnd,
+                 uint32_t* out);
+
+// Deterministic checksum of an image (for cross-variant validation).
+uint64_t image_checksum(const uint32_t* pixels, size_t n);
+
+}  // namespace sbd::raytrace

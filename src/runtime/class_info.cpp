@@ -1,0 +1,94 @@
+#include "runtime/class_info.h"
+
+#include <mutex>
+
+#include "common/check.h"
+#include "runtime/heap.h"
+#include "runtime/object.h"
+
+namespace sbd::runtime {
+
+namespace {
+std::mutex gClassMu;
+std::vector<ClassInfo*>& class_list() {
+  static std::vector<ClassInfo*> list;
+  return list;
+}
+}  // namespace
+
+ClassInfo* register_class(const std::string& name, const std::vector<SlotDesc>& slots,
+                          const std::vector<SlotDesc>& staticSlots) {
+  SBD_CHECK_MSG(slots.size() <= kMaxSlots, "too many instance slots");
+  SBD_CHECK_MSG(staticSlots.size() <= kMaxSlots, "too many static slots");
+  auto* ci = new ClassInfo();
+  ci->name = name;
+  ci->slotCount = static_cast<uint32_t>(slots.size());
+  for (uint32_t i = 0; i < ci->slotCount; i++) {
+    if (slots[i].isRef) ci->refMask |= 1ULL << i;
+    if (slots[i].isFinal) ci->finalMask |= 1ULL << i;
+    ci->slotNames.emplace_back(slots[i].name);
+  }
+  ci->staticSlotCount = static_cast<uint32_t>(staticSlots.size());
+  for (uint32_t i = 0; i < ci->staticSlotCount; i++)
+    if (staticSlots[i].isRef) ci->staticRefMask |= 1ULL << i;
+
+  if (ci->staticSlotCount > 0) {
+    // The statics holder is itself a managed object so static accesses
+    // get field-granularity locking. It is registered pre-transactionally.
+    ci->statics = Heap::instance().alloc_statics_holder(ci);
+  }
+  std::lock_guard<std::mutex> lk(gClassMu);
+  class_list().push_back(ci);
+  return ci;
+}
+
+void for_each_class(const std::function<void(ClassInfo*)>& fn) {
+  std::lock_guard<std::mutex> lk(gClassMu);
+  for (ClassInfo* ci : class_list()) fn(ci);
+}
+
+ClassInfo* array_class(ElemKind kind) {
+  static ClassInfo* i8 = [] {
+    auto* c = new ClassInfo();
+    c->name = "byte[]";
+    c->isArray = true;
+    c->elemKind = ElemKind::kI8;
+    return c;
+  }();
+  static ClassInfo* i64 = [] {
+    auto* c = new ClassInfo();
+    c->name = "long[]";
+    c->isArray = true;
+    c->elemKind = ElemKind::kI64;
+    return c;
+  }();
+  static ClassInfo* f64 = [] {
+    auto* c = new ClassInfo();
+    c->name = "double[]";
+    c->isArray = true;
+    c->elemKind = ElemKind::kF64;
+    return c;
+  }();
+  static ClassInfo* ref = [] {
+    auto* c = new ClassInfo();
+    c->name = "Object[]";
+    c->isArray = true;
+    c->elemKind = ElemKind::kRef;
+    return c;
+  }();
+  switch (kind) {
+    case ElemKind::kI8:
+      return i8;
+    case ElemKind::kI64:
+      return i64;
+    case ElemKind::kF64:
+      return f64;
+    case ElemKind::kRef:
+      return ref;
+    default:
+      SBD_CHECK_MSG(false, "not an array kind");
+      return nullptr;
+  }
+}
+
+}  // namespace sbd::runtime

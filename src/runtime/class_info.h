@@ -1,0 +1,69 @@
+// Class metadata for the managed object model.
+//
+// The SBD runtime needs, per class, exactly what the paper's bytecode
+// transformer gets from Java class files: which slots are references
+// (for GC tracing), which are final (no synchronization, Table 1), and
+// how many slots an instance has (size of the lazy lock structure).
+// Classes are registered once at startup; registration is not
+// transactional.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/fwd.h"
+
+namespace sbd::runtime {
+
+struct ManagedObject;
+
+enum class ElemKind : uint8_t {
+  kNone = 0,  // not an array class
+  kI8,        // byte arrays (strings, buffers); locks per 64-byte block
+  kI64,       // word arrays; locks per element
+  kF64,       // double arrays; locks per element
+  kRef,       // reference arrays; locks per element
+};
+
+inline constexpr uint32_t kMaxSlots = 64;  // ref/final masks are single words
+
+struct SlotDesc {
+  const char* name;
+  bool isRef = false;
+  bool isFinal = false;
+};
+
+struct ClassInfo {
+  std::string name;
+  uint32_t slotCount = 0;
+  uint64_t refMask = 0;    // bit i set: slot i holds a managed reference
+  uint64_t finalMask = 0;  // bit i set: slot i is final -> no synchronization
+  bool isArray = false;
+  ElemKind elemKind = ElemKind::kNone;
+  std::vector<std::string> slotNames;
+
+  // Per-class statics live in a managed object so static accesses get
+  // the same field-granularity locking as instance accesses.
+  ManagedObject* statics = nullptr;
+  uint32_t staticSlotCount = 0;
+  uint64_t staticRefMask = 0;
+
+  bool slot_is_final(uint32_t slot) const { return (finalMask >> slot) & 1; }
+  bool slot_is_ref(uint32_t slot) const { return (refMask >> slot) & 1; }
+};
+
+// Registers a class. Must happen before any instance is allocated;
+// typically from a function-local static initializer (see SBD_DEFINE_CLASS
+// in ref.h). `staticSlots` may be empty.
+ClassInfo* register_class(const std::string& name, const std::vector<SlotDesc>& slots,
+                          const std::vector<SlotDesc>& staticSlots = {});
+
+// Built-in array classes (one per element kind).
+ClassInfo* array_class(ElemKind kind);
+
+// Enumerate all registered classes (GC roots: statics objects).
+void for_each_class(const std::function<void(ClassInfo*)>& fn);
+
+}  // namespace sbd::runtime

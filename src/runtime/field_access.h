@@ -1,0 +1,181 @@
+// The synchronized field/array-element access fast path — the C++
+// rendering of the paper's Figure 5 locking operation, with the Table 1
+// synchronization matrix:
+//
+//   access type                         check  lock  undo
+//   non-final field / array element       x      x     x
+//   final field                           -      -     -
+//   new (this-txn) field / element        x      -     -
+//   local variable (canSplit)             -      -     x   (via checkpoint)
+//   local variable (no canSplit)          -      -     -
+//
+// Steps (Fig. 5): (1) locks == nullptr -> instance is new, access
+// directly; (2) locks == UNALLOC -> lazily materialize the lock array;
+// (3) lock word & txn mask != 0 -> already owned; (4) otherwise acquire
+// (CAS fast path, fair queue slow path) and log undo on writes.
+#pragma once
+
+#include "common/check.h"
+#include "core/lockword.h"
+#include "core/transaction.h"
+#include "runtime/object.h"
+
+namespace sbd::runtime {
+
+namespace detail {
+
+// Periodic GC-cooperation poll folded into the access fast path (the
+// JVM the paper builds on has the same polls emitted by its JIT).
+inline void maybe_poll(core::ThreadContext& tc) {
+  if (tc.pollCountdown-- == 0) {
+    tc.pollCountdown = 8192;
+    core::Safepoint::poll(tc);
+  }
+}
+
+inline core::LockWord* locks_or_materialize(core::ThreadContext& tc, ManagedObject* o) {
+  core::LockWord* lp = o->locks.load(std::memory_order_acquire);
+  if (lp == kUnalloc) {
+    tc.stats.lockInit++;
+    lp = materialize_locks(o);
+  }
+  return lp;
+}
+
+}  // namespace detail
+
+// Ensures the current transaction may read `slot` of `o` (Fig. 5 path).
+// Returns after the read lock is held (or no lock is needed).
+inline void tx_lock_read(core::ThreadContext& tc, ManagedObject* o, uint64_t slot) {
+  detail::maybe_poll(tc);
+  if (!tc.txn.active()) return;  // bootstrap / teardown code
+  core::LockWord* lp = o->locks.load(std::memory_order_acquire);
+  if (lp == nullptr) {  // (1) new in this transaction
+    tc.stats.checkNew++;
+    return;
+  }
+  if (lp == kUnalloc) {  // (2) lazy lock-structure allocation
+    tc.stats.lockInit++;
+    lp = materialize_locks(o);
+  }
+  core::LockWord* word = lp + lock_index(o, slot);
+  const core::LockWord w =
+      reinterpret_cast<std::atomic<core::LockWord>*>(word)->load(std::memory_order_acquire);
+  if (core::is_member(w, tc.txn.mask())) {  // (3) already locked by us
+    tc.stats.checkOwned++;
+    return;
+  }
+  core::LockEngine::acquire_read(tc, o, word);  // (4) acquire or enqueue
+}
+
+// Ensures a write lock on `slot` of `o` and logs the old value for the
+// eager undo log. Call before the store.
+inline void tx_lock_write(core::ThreadContext& tc, ManagedObject* o, uint64_t slot,
+                          uint64_t* valueSlot) {
+  detail::maybe_poll(tc);
+  if (!tc.txn.active()) return;
+  core::LockWord* lp = o->locks.load(std::memory_order_acquire);
+  if (lp == nullptr) {
+    tc.stats.checkNew++;
+    return;  // new instance: no locking, no undo (discarded on abort)
+  }
+  if (lp == kUnalloc) {
+    tc.stats.lockInit++;
+    lp = materialize_locks(o);
+  }
+  core::LockWord* word = lp + lock_index(o, slot);
+  const core::LockWord w =
+      reinterpret_cast<std::atomic<core::LockWord>*>(word)->load(std::memory_order_acquire);
+  if (core::is_member(w, tc.txn.mask()) && core::has_writer(w)) {
+    tc.stats.checkOwned++;
+    return;  // already write-locked: old value already in the undo log
+  }
+  core::LockEngine::acquire_write(tc, o, word);
+  tc.txn.log_undo(o, valueSlot, *valueSlot);
+}
+
+// --- Field access -----------------------------------------------------------
+
+inline uint64_t tx_read(ManagedObject* o, uint32_t slot) {
+  core::ThreadContext& tc = core::tls_context();
+  SBD_DCHECK(!o->is_array() && slot < o->h.cls->slotCount);
+  SBD_DCHECK(!o->h.cls->slot_is_final(slot));
+  tx_lock_read(tc, o, slot);
+  return o->slots()[slot];
+}
+
+inline void tx_write(ManagedObject* o, uint32_t slot, uint64_t v) {
+  core::ThreadContext& tc = core::tls_context();
+  SBD_DCHECK(!o->is_array() && slot < o->h.cls->slotCount);
+  SBD_DCHECK(!o->h.cls->slot_is_final(slot));
+  tx_lock_write(tc, o, slot, &o->slots()[slot]);
+  o->slots()[slot] = v;
+}
+
+// Final fields: initialized in the constructor (which cannot split), so
+// other transactions only ever see the initialized value — no
+// synchronization (Table 1).
+inline uint64_t read_final(const ManagedObject* o, uint32_t slot) {
+  SBD_DCHECK(o->h.cls->slot_is_final(slot));
+  return o->slots()[slot];
+}
+
+// Constructor-time initialization: the instance must be new in the
+// current transaction (or pre-transactional bootstrap).
+inline void init_write(ManagedObject* o, uint32_t slot, uint64_t v) {
+  SBD_DCHECK(o->locks.load(std::memory_order_relaxed) == nullptr ||
+             !core::tls_context().txn.active());
+  o->slots()[slot] = v;
+}
+
+// --- Array element access ----------------------------------------------------
+
+inline uint64_t tx_read_elem(ManagedObject* a, uint64_t idx) {
+  core::ThreadContext& tc = core::tls_context();
+  SBD_DCHECK(a->is_array() && idx < a->array_length());
+  tx_lock_read(tc, a, idx);
+  return a->array_data()[idx];
+}
+
+inline void tx_write_elem(ManagedObject* a, uint64_t idx, uint64_t v) {
+  core::ThreadContext& tc = core::tls_context();
+  SBD_DCHECK(a->is_array() && idx < a->array_length());
+  tx_lock_write(tc, a, idx, &a->array_data()[idx]);
+  a->array_data()[idx] = v;
+}
+
+inline int8_t tx_read_i8(ManagedObject* a, uint64_t idx) {
+  core::ThreadContext& tc = core::tls_context();
+  SBD_DCHECK(a->is_array() && a->h.cls->elemKind == ElemKind::kI8 &&
+             idx < a->array_length());
+  tx_lock_read(tc, a, idx);
+  return a->array_data_i8()[idx];
+}
+
+// Byte arrays share one lock word per 64-byte block, so undo logging is
+// done at 8-byte granularity on the containing word.
+inline void tx_write_i8(ManagedObject* a, uint64_t idx, int8_t v) {
+  core::ThreadContext& tc = core::tls_context();
+  SBD_DCHECK(a->is_array() && a->h.cls->elemKind == ElemKind::kI8 &&
+             idx < a->array_length());
+  uint64_t* wordSlot = a->array_data() + idx / 8;
+  tx_lock_write(tc, a, idx, wordSlot);
+  a->array_data_i8()[idx] = v;
+}
+
+inline void init_write_elem(ManagedObject* a, uint64_t idx, uint64_t v) {
+  SBD_DCHECK(a->locks.load(std::memory_order_relaxed) == nullptr ||
+             !core::tls_context().txn.active());
+  a->array_data()[idx] = v;
+}
+
+inline void init_write_i8(ManagedObject* a, uint64_t idx, int8_t v) {
+  SBD_DCHECK(a->locks.load(std::memory_order_relaxed) == nullptr ||
+             !core::tls_context().txn.active());
+  a->array_data_i8()[idx] = v;
+}
+
+// Array length is immutable, like a final field.
+inline uint64_t array_length(const ManagedObject* a) { return a->array_length(); }
+
+}  // namespace sbd::runtime

@@ -1,0 +1,62 @@
+// Managed strings: immutable byte arrays with final content.
+//
+// Java strings are immutable with final fields, so the paper's SBD
+// variant reads them without synchronization. We model that: MString
+// content is written only at construction (init writes) and read
+// directly — the "final field" row of Table 1. Mutable text goes
+// through ByteArray instead.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "runtime/ref.h"
+
+namespace sbd::runtime {
+
+class MString : public TypedRef<MString> {
+ public:
+  using TypedRef::TypedRef;
+
+  static MString make(std::string_view s) {
+    ManagedObject* a = Heap::instance().alloc_array(ElemKind::kI8, s.size());
+    int8_t* data = a->array_data_i8();
+    for (size_t i = 0; i < s.size(); i++) data[i] = static_cast<int8_t>(s[i]);
+    return MString(a);
+  }
+
+  uint64_t length() const { return o_ ? array_length(o_) : 0; }
+
+  // Immutable content: direct reads, no locking (final semantics).
+  char at(uint64_t i) const { return static_cast<char>(o_->array_data_i8()[i]); }
+
+  std::string str() const {
+    if (!o_) return {};
+    return std::string(reinterpret_cast<const char*>(o_->array_data_i8()),
+                       array_length(o_));
+  }
+
+  std::string_view view() const {
+    if (!o_) return {};
+    return std::string_view(reinterpret_cast<const char*>(o_->array_data_i8()),
+                            array_length(o_));
+  }
+
+  bool equals(std::string_view s) const { return view() == s; }
+  bool equals(MString other) const { return o_ == other.o_ || view() == other.view(); }
+
+  uint64_t hash() const;
+
+  static ClassInfo* klass() { return array_class(ElemKind::kI8); }
+};
+
+inline uint64_t MString::hash() const {
+  uint64_t h = 1469598103934665603ULL;
+  for (uint64_t i = 0, n = length(); i < n; i++) {
+    h ^= static_cast<unsigned char>(at(i));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace sbd::runtime

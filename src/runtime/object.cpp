@@ -1,0 +1,52 @@
+#include "runtime/object.h"
+
+#include "common/check.h"
+#include "core/stats.h"
+
+namespace sbd::runtime {
+
+uint32_t lock_count(const ManagedObject* o) {
+  const ClassInfo* cls = o->h.cls;
+  if (!cls->isArray) return cls->slotCount;
+  const uint64_t len = o->array_length();
+  if (cls->elemKind == ElemKind::kI8)
+    return static_cast<uint32_t>((len + kI8LockStride - 1) / kI8LockStride);
+  return static_cast<uint32_t>(len);
+}
+
+uint32_t lock_index(const ManagedObject* o, uint64_t slot) {
+  if (o->h.cls->isArray && o->h.cls->elemKind == ElemKind::kI8)
+    return static_cast<uint32_t>(slot / kI8LockStride);
+  return static_cast<uint32_t>(slot);
+}
+
+core::LockWord* materialize_locks(ManagedObject* o) {
+  const uint32_t n = lock_count(o);
+  SBD_CHECK_MSG(n > 0, "materializing locks for a lock-free instance");
+  auto* fresh = new core::LockWord[n]();
+  core::LockWord* expected = kUnalloc;
+  if (o->locks.compare_exchange_strong(expected, fresh, std::memory_order_acq_rel)) {
+    core::gauges().lockStructBytes.fetch_add(n * sizeof(core::LockWord),
+                                             std::memory_order_relaxed);
+    return fresh;
+  }
+  delete[] fresh;  // lost the race; use the winner's array
+  return expected;
+}
+
+void publish_new_object(ManagedObject* o) {
+  core::LockWord* expected = nullptr;
+  o->locks.compare_exchange_strong(expected, kUnalloc, std::memory_order_acq_rel);
+}
+
+void release_locks(ManagedObject* o) {
+  core::LockWord* lp = o->locks.load(std::memory_order_acquire);
+  if (lp != nullptr && lp != kUnalloc) {
+    core::gauges().lockStructBytes.fetch_sub(lock_count(o) * sizeof(core::LockWord),
+                                             std::memory_order_relaxed);
+    delete[] lp;
+  }
+  o->locks.store(kUnalloc, std::memory_order_release);
+}
+
+}  // namespace sbd::runtime

@@ -1,0 +1,56 @@
+#include "runtime/sampler.h"
+
+#include "common/check.h"
+#include "core/stats.h"
+#include "core/transaction.h"
+#include "runtime/heap.h"
+
+namespace sbd::runtime {
+
+void MemorySampler::start() {
+  SBD_CHECK_MSG(!running_.load(), "sampler already running");
+  stopRequested_.store(false, std::memory_order_release);
+  sumHeap_ = sumLocks_ = samples_ = collections_ = 0;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { run(); });
+}
+
+MemoryAverages MemorySampler::stop() {
+  MemoryAverages avg;
+  if (running_.load(std::memory_order_acquire)) {
+    stopRequested_.store(true, std::memory_order_release);
+    {
+      // The sampler thread may be mid-collection, waiting for THIS
+      // thread to reach a safepoint — join from a safe region.
+      core::Safepoint::SafeScope safe(core::tls_context());
+      thread_.join();
+    }
+    running_.store(false, std::memory_order_release);
+  }
+  if (samples_ > 0) {
+    avg.liveHeapBytes = static_cast<double>(sumHeap_) / static_cast<double>(samples_);
+    avg.lockStructBytes = static_cast<double>(sumLocks_) / static_cast<double>(samples_);
+  }
+  avg.samples = samples_;
+  avg.collections = collections_;
+  return avg;
+}
+
+void MemorySampler::run() {
+  Heap::instance().attach_current_thread_here();
+  while (!stopRequested_.load(std::memory_order_acquire)) {
+    Heap::instance().collect();
+    collections_++;
+    sumHeap_ += Heap::instance().stats().liveBytes;
+    sumLocks_ += core::gauges().lockStructBytes.load(std::memory_order_relaxed);
+    samples_++;
+    {
+      // Safe region: other threads' collections must not wait out the
+      // sampling interval for this thread to reach a poll.
+      core::Safepoint::SafeScope safe(core::tls_context());
+      std::this_thread::sleep_for(std::chrono::milliseconds(intervalMs_));
+    }
+  }
+}
+
+}  // namespace sbd::runtime

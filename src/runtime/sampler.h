@@ -1,0 +1,59 @@
+// The paper's §5.5 memory-measurement methodology: "a separate thread
+// triggers a GC run every 50 ms. The thread samples the memory usage
+// after each GC run. The reported numbers are the average of the
+// samples."
+//
+// MemorySampler runs that thread: each tick it forces a collection and
+// records the live heap plus the SBD-specific gauges; stop() returns
+// the averaged samples for the Table 8 columns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace sbd::runtime {
+
+struct MemorySample {
+  uint64_t liveHeapBytes = 0;
+  uint64_t lockStructBytes = 0;
+};
+
+struct MemoryAverages {
+  double liveHeapBytes = 0;
+  double lockStructBytes = 0;
+  uint64_t samples = 0;
+  uint64_t collections = 0;
+};
+
+class MemorySampler {
+ public:
+  explicit MemorySampler(int intervalMs = 50) : intervalMs_(intervalMs) {}
+  ~MemorySampler() { stop(); }
+  MemorySampler(const MemorySampler&) = delete;
+  MemorySampler& operator=(const MemorySampler&) = delete;
+
+  // Starts the sampling thread. The sampled workload must only block
+  // through SBD-provided waits (the GC stops the world each tick).
+  void start();
+
+  // Stops the thread and returns the averages over all samples.
+  MemoryAverages stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  void run();
+
+  int intervalMs_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopRequested_{false};
+  std::thread thread_;
+  // Accumulated under the sampler thread only.
+  uint64_t sumHeap_ = 0;
+  uint64_t sumLocks_ = 0;
+  uint64_t samples_ = 0;
+  uint64_t collections_ = 0;
+};
+
+}  // namespace sbd::runtime

@@ -1,0 +1,112 @@
+#include "text/analysis.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace sbd::text {
+
+std::vector<std::string> tokenize(std::string_view input) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : input) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      cur.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!cur.empty()) {
+      if (cur.size() >= 2) out.push_back(cur);
+      cur.clear();
+    }
+  }
+  if (cur.size() >= 2) out.push_back(cur);
+  return out;
+}
+
+std::string stem(std::string_view token) {
+  std::string t(token);
+  auto ends_with = [&](std::string_view suf) {
+    return t.size() >= suf.size() && std::string_view(t).substr(t.size() - suf.size()) == suf;
+  };
+  if (ends_with("ness") && t.size() > 6)
+    t.resize(t.size() - 4);
+  else if (ends_with("ing") && t.size() > 5)
+    t.resize(t.size() - 3);
+  else if (ends_with("ed") && t.size() > 4)
+    t.resize(t.size() - 2);
+  else if (ends_with("ly") && t.size() > 4)
+    t.resize(t.size() - 2);
+  else if (ends_with("es") && t.size() > 4)
+    t.resize(t.size() - 2);
+  else if (ends_with("s") && t.size() > 3 && !ends_with("ss"))
+    t.resize(t.size() - 1);
+  return t;
+}
+
+const std::vector<std::string>& vocabulary() {
+  static const std::vector<std::string> words = {
+      "time",    "year",    "people",  "way",     "day",     "man",     "thing",
+      "woman",   "life",    "child",   "world",   "school",  "state",   "family",
+      "student", "group",   "country", "problem", "hand",    "part",    "place",
+      "case",    "week",    "company", "system",  "program", "question","work",
+      "number",  "night",   "point",   "home",    "water",   "room",    "mother",
+      "area",    "money",   "story",   "fact",    "month",   "lot",     "right",
+      "study",   "book",    "eye",     "job",     "word",    "business","issue",
+      "side",    "kind",    "head",    "house",   "service", "friend",  "father",
+      "power",   "hour",    "game",    "line",    "end",     "member",  "law",
+      "car",     "city",    "community","name",   "president","team",   "minute",
+      "idea",    "kid",     "body",    "information","back", "parent",  "face",
+      "others",  "level",   "office",  "door",    "health",  "person",  "art",
+      "war",     "history", "party",   "result",  "change",  "morning", "reason",
+      "research","girl",    "guy",     "moment",  "air",     "teacher", "force",
+      "education","foot",   "boy",     "age",     "policy",  "process", "music",
+      "market",  "sense",   "nation",  "plan",    "college", "interest","death",
+      "experience","effect","use",     "class",   "control", "care",    "field",
+      "development","role", "effort",  "rate",    "heart",   "drug",    "show",
+      "leader",  "light",   "voice",   "wife",    "police",  "mind",    "price",
+      "report",  "decision","son",     "view",    "relationship","town","road",
+      "arm",     "difference","value", "building","action",  "model",   "season",
+      "society", "tax",     "director","position","player",  "record",  "paper",
+      "space",   "ground",  "form",    "event",   "official","matter",  "center",
+      "couple",  "site",    "project", "activity","star",    "table",   "need",
+      "court",   "american","oil",     "situation","cost",   "industry","figure",
+      "street",  "image",   "phone",   "data",    "picture", "practice","piece",
+      "land",    "product", "doctor",  "wall",    "patient", "worker",  "news",
+      "test",    "movie",   "north",   "love",    "support", "technology","step",
+      "baby",    "computer","type",    "attention","film",   "tree",    "source",
+      "subject", "rule",    "question","structure","network","memory",  "cache",
+      "thread",  "lock",    "atomic",  "section", "split",   "commit",  "abort",
+      "runtime", "compiler","machine", "kernel",  "server",  "client",  "buffer",
+  };
+  return words;
+}
+
+std::vector<std::string> generate_document(const CorpusConfig& cfg, uint64_t docId) {
+  const auto& vocab = vocabulary();
+  Zipf zipf(vocab.size(), cfg.zipfTheta, mix64(cfg.seed * 1315423911u + docId));
+  std::vector<std::string> words;
+  words.reserve(cfg.wordsPerDoc);
+  for (uint64_t i = 0; i < cfg.wordsPerDoc; i++) words.push_back(vocab[zipf.next()]);
+  return words;
+}
+
+std::string generate_document_text(const CorpusConfig& cfg, uint64_t docId) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& w : generate_document(cfg, docId)) {
+    if (!first) os << ' ';
+    os << w;
+    first = false;
+  }
+  return os.str();
+}
+
+std::vector<std::string> generate_query(const CorpusConfig& cfg, uint64_t qId,
+                                        int terms) {
+  const auto& vocab = vocabulary();
+  Zipf zipf(vocab.size(), cfg.zipfTheta, mix64(cfg.seed * 2654435761u + qId));
+  std::vector<std::string> out;
+  for (int i = 0; i < terms; i++) out.push_back(vocab[zipf.next()]);
+  return out;
+}
+
+}  // namespace sbd::text

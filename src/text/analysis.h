@@ -1,0 +1,42 @@
+// Text analysis for the LuIndex/LuSearch benchmark analogs: tokenizer,
+// a light suffix-stripping stemmer, and a deterministic corpus/query
+// generator (the stand-in for the Lucene benchmark's document set).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbd::text {
+
+// Lowercases and splits on non-alphanumeric characters; drops tokens
+// shorter than 2 characters.
+std::vector<std::string> tokenize(std::string_view input);
+
+// Light stemmer: strips common English suffixes (ing, ed, es, s, ly,
+// ness) with minimal-stem-length guards. Deterministic, not Porter.
+std::string stem(std::string_view token);
+
+// Embedded vocabulary used by the corpus generator.
+const std::vector<std::string>& vocabulary();
+
+// Deterministic document generator: document `docId` is a sequence of
+// `wordsPerDoc` vocabulary words drawn from a Zipf distribution seeded
+// by (seed, docId), so corpora are identical across runs and variants.
+struct CorpusConfig {
+  uint64_t numDocs = 1000;
+  uint64_t wordsPerDoc = 120;
+  double zipfTheta = 0.85;
+  uint64_t seed = 0x5eed;
+};
+
+std::vector<std::string> generate_document(const CorpusConfig& cfg, uint64_t docId);
+std::string generate_document_text(const CorpusConfig& cfg, uint64_t docId);
+
+// Deterministic query generator: query `qId` holds `terms` vocabulary
+// words (skewed like the corpus so most queries hit).
+std::vector<std::string> generate_query(const CorpusConfig& cfg, uint64_t qId,
+                                        int terms = 3);
+
+}  // namespace sbd::text

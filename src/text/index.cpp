@@ -1,0 +1,118 @@
+#include "text/index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sbd::text {
+
+void InvertedIndex::add_document(uint32_t docId, const std::vector<std::string>& tokens) {
+  if (docId >= docLens_.size()) docLens_.resize(docId + 1, 0);
+  docLens_[docId] = tokens.size();
+  std::unordered_map<std::string, uint32_t> tf;
+  for (const auto& t : tokens) tf[t]++;
+  for (const auto& [term, freq] : tf) {
+    auto& plist = postings_[term];
+    plist.push_back(Posting{docId, freq});
+  }
+}
+
+const std::vector<Posting>* InvertedIndex::postings(const std::string& term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? nullptr : &it->second;
+}
+
+uint64_t InvertedIndex::doc_length(uint32_t docId) const {
+  return docId < docLens_.size() ? docLens_[docId] : 0;
+}
+
+double tfidf_score(uint32_t tf, uint32_t df, uint32_t numDocs, uint64_t docLen) {
+  if (df == 0 || docLen == 0) return 0;
+  const double idf = std::log(1.0 + static_cast<double>(numDocs) / df);
+  return static_cast<double>(tf) * idf / std::sqrt(static_cast<double>(docLen));
+}
+
+std::vector<SearchHit> top_k(const std::unordered_map<uint32_t, double>& acc, int k) {
+  std::vector<SearchHit> hits;
+  hits.reserve(acc.size());
+  for (const auto& [doc, score] : acc) hits.push_back(SearchHit{doc, score});
+  std::sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.docId < b.docId;
+  });
+  if (static_cast<int>(hits.size()) > k) hits.resize(static_cast<size_t>(k));
+  return hits;
+}
+
+std::vector<SearchHit> InvertedIndex::search(const std::vector<std::string>& terms,
+                                             int k) const {
+  std::unordered_map<uint32_t, double> acc;
+  for (const auto& term : terms) {
+    const auto* plist = postings(term);
+    if (!plist) continue;
+    const auto df = static_cast<uint32_t>(plist->size());
+    for (const Posting& p : *plist)
+      acc[p.docId] += tfidf_score(p.termFreq, df, doc_count(), doc_length(p.docId));
+  }
+  return top_k(acc, k);
+}
+
+std::string InvertedIndex::serialize() const {
+  // std::map for deterministic term order.
+  std::map<std::string, const std::vector<Posting>*> sorted;
+  for (const auto& [term, plist] : postings_) sorted[term] = &plist;
+  std::ostringstream os;
+  os << "#docs " << docLens_.size() << "\n";
+  for (size_t i = 0; i < docLens_.size(); i++) os << "#len " << i << " " << docLens_[i] << "\n";
+  for (const auto& [term, plist] : sorted) {
+    os << term;
+    std::vector<Posting> byDoc = *plist;
+    std::sort(byDoc.begin(), byDoc.end(),
+              [](const Posting& a, const Posting& b) { return a.docId < b.docId; });
+    for (const Posting& p : byDoc) os << ' ' << p.docId << ':' << p.termFreq;
+    os << '\n';
+  }
+  return os.str();
+}
+
+InvertedIndex InvertedIndex::deserialize(const std::string& data) {
+  InvertedIndex idx;
+  std::istringstream is(data);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag;
+      if (tag == "#docs") {
+        size_t n;
+        ls >> n;
+        idx.docLens_.resize(n, 0);
+      } else if (tag == "#len") {
+        size_t i;
+        uint64_t len;
+        ls >> i >> len;
+        if (i < idx.docLens_.size()) idx.docLens_[i] = len;
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string term;
+    ls >> term;
+    auto& plist = idx.postings_[term];
+    std::string pair;
+    while (ls >> pair) {
+      const auto colon = pair.find(':');
+      SBD_CHECK_MSG(colon != std::string::npos, "malformed index line");
+      plist.push_back(Posting{static_cast<uint32_t>(std::stoul(pair.substr(0, colon))),
+                              static_cast<uint32_t>(std::stoul(pair.substr(colon + 1)))});
+    }
+  }
+  return idx;
+}
+
+}  // namespace sbd::text

@@ -1,0 +1,45 @@
+// The barrier of the paper's Figure 6, built from managed fields,
+// wait_on and notify_all — a library component and a living example of
+// the signalling protocol.
+//
+//   notify_all releases the lock on `arrived` at the signaller's commit
+//   so waiters can re-test the condition; wait_on splits so other
+//   threads can update `arrived`.
+#pragma once
+
+#include "api/sbd.h"
+
+namespace sbd::threads {
+
+class Barrier : public runtime::TypedRef<Barrier> {
+ public:
+  SBD_CLASS(Barrier, SBD_SLOT_FINAL("expected"), SBD_SLOT("arrived"))
+  SBD_FIELD_FINAL_I64(0, expected)
+  SBD_FIELD_I64(1, arrived)
+
+  static Barrier make(int64_t expected) {
+    Barrier b = alloc();
+    b.init_expected(expected);
+    b.init_arrived(0);
+    return b;
+  }
+
+  // canSplit: waits (splitting) until all parties arrived.
+  void sync() {
+    CanSplitScope canSplit;
+    set_arrived(arrived() + 1);
+    if (arrived() < expected()) {
+      while (arrived() < expected()) {
+        wait_on(raw());  // splits the atomic section
+      }
+    } else {
+      notify_all(raw());
+      split();  // make the arrival visible and deliver the signal
+    }
+  }
+
+  // Resets the barrier for reuse (callers must ensure quiescence).
+  void reset() { set_arrived(0); }
+};
+
+}  // namespace sbd::threads

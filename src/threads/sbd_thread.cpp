@@ -1,0 +1,129 @@
+#include "threads/sbd_thread.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+#include "core/transaction.h"
+#include "runtime/heap.h"
+
+namespace sbd::threads {
+
+struct SbdThread::Impl {
+  std::function<void()> body;
+  std::thread osThread;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool launched = false;
+  bool finished = false;
+};
+
+namespace {
+
+// Owns the stack bytes the checkpoint anchor points into: every frame
+// that takes or restores checkpoints is a callee of this function, so
+// restores never write beyond the pad (which is dead data).
+__attribute__((noinline)) void run_sections_with_anchor(
+    core::ThreadContext& tc, const std::function<void()>& body) {
+  volatile char pad[1024];
+  pad[0] = 0;
+  pad[1023] = 0;
+  tc.engine.set_anchor_at(const_cast<char*>(&pad[512]));
+  core::begin_initial_section(tc);
+  const int savedDepth = tc.canSplitDepth;
+  tc.canSplitDepth = 1;  // entry points are canSplit by default (§2.2)
+  body();
+  tc.canSplitDepth = savedDepth;
+  core::end_final_section(tc);
+  tc.engine.clear_anchor();
+}
+
+void thread_entry(const std::shared_ptr<SbdThread::Impl>& impl) {
+  auto& tc = core::tls_context();
+  runtime::Heap::instance().attach_current_thread_here();  // GC scan bound
+  run_sections_with_anchor(tc, impl->body);
+  {
+    std::lock_guard<std::mutex> lk(impl->mu);
+    impl->finished = true;
+  }
+  impl->cv.notify_all();
+}
+
+void launch(const std::shared_ptr<SbdThread::Impl>& impl) {
+  std::lock_guard<std::mutex> lk(impl->mu);
+  SBD_CHECK_MSG(!impl->launched, "SbdThread started twice");
+  impl->launched = true;
+  impl->osThread = std::thread([impl] { thread_entry(impl); });
+}
+
+}  // namespace
+
+SbdThread::SbdThread(std::function<void()> body) : impl_(std::make_shared<Impl>()) {
+  impl_->body = std::move(body);
+}
+
+SbdThread::~SbdThread() {
+  if (impl_ && impl_->osThread.joinable()) impl_->osThread.join();
+}
+
+SbdThread::SbdThread(SbdThread&&) noexcept = default;
+SbdThread& SbdThread::operator=(SbdThread&&) noexcept = default;
+
+void SbdThread::start() {
+  auto* tc = core::tls_context_if_present();
+  if (tc && tc->txn.active()) {
+    // Deferred thread start (§3.5): the child launches only when the
+    // starting section commits.
+    auto impl = impl_;
+    tc->txn.defer([impl] { launch(impl); });
+  } else {
+    launch(impl_);
+  }
+}
+
+void SbdThread::join() {
+  // Raw pointer only: this frame is re-unwound if the section that
+  // starts inside split_section_releasing_id aborts, so it must not
+  // hold a shared_ptr copy (double release on restore). `impl_` in the
+  // SbdThread object keeps the Impl alive across the wait.
+  Impl* impl = impl_.get();
+  auto blocked = [impl] {
+    auto& tc = core::tls_context();
+    {
+      core::Safepoint::SafeScope safe(tc);
+      std::unique_lock<std::mutex> lk(impl->mu);
+      impl->cv.wait(lk, [&] { return impl->finished; });
+    }
+    if (impl->osThread.joinable()) impl->osThread.join();
+  };
+  auto* tc = core::tls_context_if_present();
+  if (tc && tc->txn.active()) {
+    // Join always splits first (§3.5): the split commits this section,
+    // which runs the deferred start, and releases our transaction id so
+    // the child can get one.
+    core::split_section_releasing_id(*tc, blocked);
+  } else {
+    blocked();
+  }
+}
+
+bool SbdThread::finished() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->finished;
+}
+
+void run_sbd(const std::function<void()>& body) {
+  auto& tc = core::tls_context();
+  SBD_CHECK_MSG(!tc.txn.active(), "run_sbd cannot nest");
+  runtime::Heap::instance().attach_current_thread_here();
+  run_sections_with_anchor(tc, body);
+}
+
+bool in_sbd() {
+  auto* tc = core::tls_context_if_present();
+  return tc && tc->txn.active();
+}
+
+}  // namespace sbd::threads

@@ -1,0 +1,52 @@
+// SBD thread operations (§3.5).
+//
+//   start  — deferred until the starting atomic section commits; an
+//            aborted starter never launches the thread, and locks the
+//            starter holds on the child's input data are released first.
+//   join   — issues a split before waiting (so the child has actually
+//            started) and releases the transaction id while blocked.
+//
+// The thread body runs entirely inside atomic sections: an initial one
+// begins at entry, splits partition the rest, the last one commits at
+// return (SBD: no code runs outside a transaction).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+namespace sbd::threads {
+
+class SbdThread {
+ public:
+  explicit SbdThread(std::function<void()> body);
+  ~SbdThread();
+  SbdThread(SbdThread&&) noexcept;
+  SbdThread& operator=(SbdThread&&) noexcept;
+  SbdThread(const SbdThread&) = delete;
+  SbdThread& operator=(const SbdThread&) = delete;
+
+  // Inside a transaction: deferred to commit. Outside: immediate.
+  void start();
+
+  // Splits the caller's section, releases its transaction id, waits for
+  // the thread to finish, reaps the OS thread, and begins a new section.
+  void join();
+
+  bool finished() const;
+
+  struct Impl;  // exposed for the launch trampoline in the .cpp
+
+ private:
+  std::shared_ptr<Impl> impl_;
+};
+
+// Runs `body` as the initial SBD context of the calling thread: attaches
+// the stack for GC, begins the initial atomic section, runs body (which
+// may split), and commits the final section. This is how main() enters
+// the SBD world.
+void run_sbd(const std::function<void()>& body);
+
+// True while the calling thread executes inside an SBD atomic section.
+bool in_sbd();
+
+}  // namespace sbd::threads

@@ -1,0 +1,94 @@
+// Thread-local memory with undo (§3.5): per-thread cells that need no
+// locking (stacks/threads are isolated) but must be rolled back on
+// abort, so writes go through the undo log.
+//
+// This is the building block of the paper's Table 4 scalability fixes:
+// thread-local statistics counters aggregated on read, thread-local
+// output aggregation, thread-local object caches.
+#pragma once
+
+#include <atomic>
+
+#include "common/check.h"
+#include "core/transaction.h"
+#include "runtime/heap.h"
+
+namespace sbd::threads {
+
+namespace detail {
+inline uint64_t& local_slot(uint32_t index) {
+  auto& tc = core::tls_context();
+  while (tc.txLocalSlots.size() <= index) tc.txLocalSlots.push_back(0);
+  return tc.txLocalSlots[index];
+}
+inline uint32_t next_local_index() {
+  static std::atomic<uint32_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+// A per-thread 64-bit cell. Reads are free; writes cost one undo-log
+// entry (no lock word, no CAS).
+class TxLocalI64 {
+ public:
+  TxLocalI64() : index_(detail::next_local_index()) {}
+
+  int64_t get() const { return static_cast<int64_t>(detail::local_slot(index_)); }
+
+  void set(int64_t v) {
+    uint64_t& slot = detail::local_slot(index_);
+    auto& tc = core::tls_context();
+    if (tc.txn.active()) tc.txn.log_undo(nullptr, &slot, slot);
+    slot = static_cast<uint64_t>(v);
+  }
+
+  void add(int64_t delta) { set(get() + delta); }
+
+  // Aggregates the cell's value across all live threads (the paper's
+  // "thread local update of statistic counters, aggregate on read").
+  int64_t aggregate() const {
+    int64_t sum = 0;
+    core::TxnManager::instance().for_each_thread([&](core::ThreadContext* tc) {
+      if (tc->txLocalSlots.size() > index_)
+        sum += static_cast<int64_t>(tc->txLocalSlots[index_]);
+    });
+    return sum;
+  }
+
+ private:
+  uint32_t index_;
+};
+
+// A per-thread managed reference cell (thread-local object caches).
+template <typename RefT>
+class TxLocalRef {
+ public:
+  TxLocalRef() : index_(detail::next_local_index()) {}
+
+  RefT get() const {
+    return RefT(reinterpret_cast<runtime::ManagedObject*>(detail::local_slot(index_)));
+  }
+
+  void set(RefT v) {
+    uint64_t& slot = detail::local_slot(index_);
+    auto& tc = core::tls_context();
+    if (tc.txn.active()) tc.txn.log_undo(nullptr, &slot, slot);
+    slot = reinterpret_cast<uint64_t>(v.raw());
+  }
+
+  // Returns the cached per-thread instance, creating it via `make` on
+  // first use in this thread.
+  template <typename MakeFn>
+  RefT get_or_create(MakeFn&& make) {
+    RefT cur = get();
+    if (cur) return cur;
+    RefT fresh = make();
+    set(fresh);
+    return fresh;
+  }
+
+ private:
+  uint32_t index_;
+};
+
+}  // namespace sbd::threads

@@ -1,0 +1,82 @@
+#include "tio/console.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "tio/deferred.h"
+
+namespace sbd::tio {
+
+namespace {
+
+std::mutex gSinkMu;
+bool gCapture = false;
+std::string gCaptured;
+
+void sink_write(const char* data, size_t n) {
+  std::lock_guard<std::mutex> lk(gSinkMu);
+  if (gCapture)
+    gCaptured.append(data, n);
+  else
+    std::fwrite(data, 1, n, stdout);
+}
+
+// Per-thread console section buffer, registered with the active
+// transaction on first use in each section.
+class ConsoleSection final : public core::TxResource {
+ public:
+  void print(std::string_view s) {
+    if (register_with_txn(this)) {
+      buf_.append(s);
+    } else {
+      sink_write(s.data(), s.size());  // outside any section: direct
+    }
+  }
+
+  void on_commit() override {
+    if (!buf_.empty()) {
+      sink_write(reinterpret_cast<const char*>(buf_.bytes().data()), buf_.size());
+      buf_.clear();
+    }
+  }
+
+  void on_abort() override { buf_.clear(); }
+
+  size_t buffered_bytes() const override { return buf_.size(); }
+
+ private:
+  DeferBuffer buf_;
+};
+
+ConsoleSection& tls_console() {
+  thread_local ConsoleSection cs;
+  return cs;
+}
+
+}  // namespace
+
+void TxConsole::print(std::string_view s) { tls_console().print(s); }
+
+void TxConsole::println(std::string_view s) {
+  tls_console().print(s);
+  tls_console().print("\n");
+}
+
+void TxConsole::capture_to_string(bool enable) {
+  std::lock_guard<std::mutex> lk(gSinkMu);
+  gCapture = enable;
+}
+
+std::string TxConsole::captured() {
+  std::lock_guard<std::mutex> lk(gSinkMu);
+  return gCaptured;
+}
+
+void TxConsole::clear_captured() {
+  std::lock_guard<std::mutex> lk(gSinkMu);
+  gCaptured.clear();
+}
+
+size_t TxConsole::pending_bytes() { return tls_console().buffered_bytes(); }
+
+}  // namespace sbd::tio

@@ -1,0 +1,33 @@
+// Transactional console output.
+//
+// Output printed inside an atomic section becomes visible only when the
+// section ends (§3.4 consequence 1). Each thread aggregates output in a
+// per-section buffer and flushes it atomically at commit — the paper's
+// reusable thread-local OutputStream aggregation (Table 4, JCL row).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/resource.h"
+
+namespace sbd::tio {
+
+class TxConsole {
+ public:
+  // Prints transactionally: buffered until the section commits, or
+  // immediately when called outside a section.
+  static void print(std::string_view s);
+  static void println(std::string_view s);
+
+  // Redirects committed output into a string (for tests); returns the
+  // previously captured content when disabling.
+  static void capture_to_string(bool enable);
+  static std::string captured();
+  static void clear_captured();
+
+  // Bytes currently buffered by the calling thread's section.
+  static size_t pending_bytes();
+};
+
+}  // namespace sbd::tio

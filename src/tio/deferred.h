@@ -1,0 +1,90 @@
+// Building blocks for transactional wrappers (§3.4, §4.4).
+//
+// The wrapper scheme the paper prescribes:
+//   1. adapter with the same interface, forwarding each call;
+//   2. a buffer B saving state before modification;
+//   3. irreversible modifications are deferred to section end;
+//   4. commit applies deferred operations and clears B, rollback
+//      restores from B.
+//
+// Output devices use a deferral buffer B_W (writes apply at commit);
+// input devices use a replay buffer B_R (consumed input is re-served
+// after an abort until exhausted).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/resource.h"
+#include "core/transaction.h"
+
+namespace sbd::tio {
+
+// Registers `r` with the calling thread's active transaction (no-op if
+// none is active: bootstrap code performs effects directly).
+inline bool register_with_txn(core::TxResource* r) {
+  auto* tc = core::tls_context_if_present();
+  if (!tc || !tc->txn.active()) return false;
+  tc->txn.add_resource(r);
+  return true;
+}
+
+// A write-deferral buffer (B_W): bytes appended during the section,
+// flushed to the sink at commit, discarded at abort.
+class DeferBuffer {
+ public:
+  void append(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  void append(std::string_view s) { append(s.data(), s.size()); }
+  bool empty() const { return buf_.empty(); }
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  void clear() { buf_.clear(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+// A read-replay buffer (B_R): input consumed during a section is kept;
+// on abort it is rearmed so the retry reads the same bytes; on commit
+// it is discarded (paper §4.4 network-read example).
+class ReplayBuffer {
+ public:
+  // Records freshly consumed input. The bytes were already delivered to
+  // the caller, so the serve position advances past them: they are only
+  // re-served after on_abort() rewinds.
+  void consumed(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+    pos_ = buf_.size();
+  }
+
+  // Serves up to n replayed bytes into out; returns bytes served.
+  size_t serve(void* out, size_t n) {
+    const size_t avail = buf_.size() - pos_;
+    const size_t take = n < avail ? n : avail;
+    if (take) {
+      __builtin_memcpy(out, buf_.data() + pos_, take);
+      pos_ += take;
+    }
+    return take;
+  }
+
+  bool exhausted() const { return pos_ >= buf_.size(); }
+  size_t size() const { return buf_.size(); }
+
+  void on_commit() {
+    buf_.clear();
+    pos_ = 0;
+  }
+  void on_abort() { pos_ = 0; }  // rearm: replay from the start
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sbd::tio

@@ -1,0 +1,84 @@
+#include "tio/file.h"
+
+#include "common/check.h"
+
+namespace sbd::tio {
+
+// ---------------------------------------------------------------------------
+// TxFileWriter
+// ---------------------------------------------------------------------------
+
+TxFileWriter::TxFileWriter(std::string path) : path_(std::move(path)) {
+  fp_ = std::fopen(path_.c_str(), "wb");
+  SBD_CHECK_MSG(fp_ != nullptr, "TxFileWriter: cannot open file");
+}
+
+TxFileWriter::~TxFileWriter() {
+  if (fp_) std::fclose(fp_);
+}
+
+void TxFileWriter::write(std::string_view data) { write(data.data(), data.size()); }
+
+void TxFileWriter::write(const void* data, size_t n) {
+  if (register_with_txn(this)) {
+    buf_.append(data, n);  // deferred: applied at commit
+  } else {
+    std::lock_guard<std::mutex> lk(fileMu_);
+    std::fwrite(data, 1, n, fp_);
+    committed_ += n;
+  }
+}
+
+void TxFileWriter::on_commit() {
+  if (buf_.empty()) return;
+  std::lock_guard<std::mutex> lk(fileMu_);
+  std::fwrite(buf_.bytes().data(), 1, buf_.size(), fp_);
+  std::fflush(fp_);
+  committed_ += buf_.size();
+  buf_.clear();
+}
+
+void TxFileWriter::on_abort() { buf_.clear(); }
+
+// ---------------------------------------------------------------------------
+// TxFileReader
+// ---------------------------------------------------------------------------
+
+TxFileReader::TxFileReader(std::string path) : path_(std::move(path)) {
+  fp_ = std::fopen(path_.c_str(), "rb");
+}
+
+TxFileReader::~TxFileReader() {
+  if (fp_) std::fclose(fp_);
+}
+
+size_t TxFileReader::read(void* out, size_t n) {
+  SBD_CHECK_MSG(fp_ != nullptr, "TxFileReader: file not open");
+  const bool inTxn = register_with_txn(this);
+  size_t got = 0;
+  if (inTxn) got = replay_.serve(out, n);  // replayed bytes first
+  if (got < n) {
+    const size_t fresh =
+        std::fread(static_cast<uint8_t*>(out) + got, 1, n - got, fp_);
+    if (inTxn && fresh)
+      replay_.consumed(static_cast<uint8_t*>(out) + got, fresh);
+    got += fresh;
+  }
+  return got;
+}
+
+bool TxFileReader::read_line(std::string& out) {
+  out.clear();
+  char c;
+  while (read(&c, 1) == 1) {
+    if (c == '\n') return true;
+    out.push_back(c);
+  }
+  return !out.empty();
+}
+
+void TxFileReader::on_commit() { replay_.on_commit(); }
+
+void TxFileReader::on_abort() { replay_.on_abort(); }
+
+}  // namespace sbd::tio

@@ -1,0 +1,79 @@
+// Transactional file I/O wrappers (§4.4).
+//
+//   TxFileWriter — writes are deferred in B_W and applied (appended) at
+//                  commit; an abort discards the buffer, so a rolled-
+//                  back section leaves no trace in the file.
+//   TxFileReader — reads consume the real stream but are recorded in
+//                  B_R; an abort rearms B_R so the retry reads the same
+//                  bytes; commit discards the consumed prefix.
+//
+// The wrappers hand-implement the four-step scheme of §4.4: adapter,
+// save-before-modify buffer, deferral of irreversible actions,
+// commit/rollback hooks.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "core/resource.h"
+#include "tio/deferred.h"
+
+namespace sbd::tio {
+
+class TxFileWriter final : public core::TxResource {
+ public:
+  // Opens (creates/truncates) `path` for appending committed sections.
+  explicit TxFileWriter(std::string path);
+  ~TxFileWriter() override;
+  TxFileWriter(const TxFileWriter&) = delete;
+  TxFileWriter& operator=(const TxFileWriter&) = delete;
+
+  // Transactional append (deferred to commit inside a section).
+  void write(std::string_view data);
+  void write(const void* data, size_t n);
+
+  void on_commit() override;
+  void on_abort() override;
+  size_t buffered_bytes() const override { return buf_.size(); }
+
+  // Committed file size so far (bytes actually on disk).
+  uint64_t committed_bytes() const { return committed_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* fp_;
+  std::mutex fileMu_;
+  DeferBuffer buf_;
+  uint64_t committed_ = 0;
+};
+
+class TxFileReader final : public core::TxResource {
+ public:
+  explicit TxFileReader(std::string path);
+  ~TxFileReader() override;
+  TxFileReader(const TxFileReader&) = delete;
+  TxFileReader& operator=(const TxFileReader&) = delete;
+
+  bool ok() const { return fp_ != nullptr; }
+
+  // Transactional read: serves replayed bytes first, then the stream.
+  // Returns bytes read (0 at EOF).
+  size_t read(void* out, size_t n);
+
+  // Reads one '\n'-terminated line (without the terminator); returns
+  // false at EOF.
+  bool read_line(std::string& out);
+
+  void on_commit() override;
+  void on_abort() override;
+  size_t buffered_bytes() const override { return replay_.size(); }
+
+ private:
+  std::string path_;
+  std::FILE* fp_;
+  ReplayBuffer replay_;
+};
+
+}  // namespace sbd::tio

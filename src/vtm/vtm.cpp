@@ -1,0 +1,85 @@
+#include "vtm/vtm.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/transaction.h"
+
+namespace sbd::vtm {
+
+ModelResult estimate(const ModelInput& in, int cores) {
+  ModelResult r;
+  uint64_t work = 0, critical = 0, blockedTotal = 0;
+  for (const ThreadWork& t : in.threads) {
+    const uint64_t mine = t.busyNanos + t.abortedNanos;
+    work += mine;
+    critical = std::max(critical, mine);
+    blockedTotal += t.blockedNanos;
+  }
+  r.workSeconds = static_cast<double>(work) * 1e-9;
+  r.criticalPathSeconds = static_cast<double>(critical) * 1e-9;
+
+  // Serialization estimate: while one thread holds a contended lock,
+  // each blocked thread contributes blocked time that cannot overlap
+  // with its own work. Dividing the aggregate blocked time by the
+  // number of *other* threads approximates the wall-clock span during
+  // which progress was limited by one lock holder.
+  const size_t n = in.threads.size();
+  r.serialSeconds =
+      n > 1 ? static_cast<double>(blockedTotal) * 1e-9 / static_cast<double>(n - 1) : 0;
+
+  const double workBound = r.workSeconds / std::max(1, cores);
+  r.makespanSeconds = std::max({workBound, r.criticalPathSeconds, r.serialSeconds});
+  r.utilization = r.makespanSeconds > 0
+                      ? r.workSeconds / (cores * r.makespanSeconds)
+                      : 0;
+  return r;
+}
+
+std::vector<double> speedup_curve(const ModelInput& in,
+                                  const std::vector<int>& coreCounts) {
+  std::vector<double> out;
+  const double t1 = estimate(in, 1).makespanSeconds;
+  for (int c : coreCounts) {
+    const double tp = estimate(in, c).makespanSeconds;
+    out.push_back(tp > 0 ? t1 / tp : 0);
+  }
+  return out;
+}
+
+ModelInput snapshot_all_threads() {
+  // Live threads plus every retired worker (workers joined before the
+  // measurement window closed must still contribute their intervals).
+  ModelInput in;
+  auto& mgr = core::TxnManager::instance();
+  mgr.for_each_retired_work([&](const core::TxnManager::RetiredWork& r) {
+    in.threads.push_back(ThreadWork{r.uid, r.busyNanos, r.abortedNanos, r.blockedNanos});
+  });
+  mgr.for_each_thread([&](core::ThreadContext* tc) {
+    in.threads.push_back(
+        ThreadWork{tc->uid, tc->busyNanosCommitted, tc->abortedWorkNanos, tc->blockedNanos});
+  });
+  return in;
+}
+
+ModelInput diff(const ModelInput& after, const ModelInput& before) {
+  // Match threads by uid; threads absent from `before` pass through,
+  // threads whose counters did not move are dropped (they did no work
+  // in the window).
+  std::unordered_map<uint64_t, const ThreadWork*> base;
+  for (const ThreadWork& t : before.threads) base[t.uid] = &t;
+  ModelInput out;
+  for (const ThreadWork& t : after.threads) {
+    ThreadWork w = t;
+    auto it = base.find(t.uid);
+    if (it != base.end()) {
+      w.busyNanos -= std::min(w.busyNanos, it->second->busyNanos);
+      w.abortedNanos -= std::min(w.abortedNanos, it->second->abortedNanos);
+      w.blockedNanos -= std::min(w.blockedNanos, it->second->blockedNanos);
+    }
+    if (w.busyNanos + w.abortedNanos + w.blockedNanos > 0) out.threads.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace sbd::vtm

@@ -1,0 +1,61 @@
+// Virtual-time model: estimates the P-core makespan of an SBD run from
+// per-thread interval accounting, so Figure 7's speedup *shape* can be
+// reproduced on a host with fewer cores than the paper's 32-core Xeon.
+//
+// The STM already tracks, per thread:
+//   busyNanosCommitted — useful work inside committed sections
+//   abortedWorkNanos   — work thrown away by aborts (re-executed)
+//   blockedNanos       — time spent waiting for locks / ids / joins
+//
+// The model combines them with Brent's-theorem-style bounds:
+//   T_P >= W / P            (work bound: W = committed + aborted work)
+//   T_P >= max_thread busy  (critical-path bound: the longest thread
+//                            cannot be sliced across cores)
+//   T_P >= serial           (serialization bound: time the run spent
+//                            with at most one thread runnable, estimated
+//                            from blocked-time overlap)
+// The estimate is the max of the three. On a 1-core host the measured
+// wall time approximates W directly (threads time-share one core), so
+// speedup(P) = T_1 / T_P reproduces who scales and where the curves
+// flatten (lock contention, abort waste, the 56-txn-id ceiling) even
+// though no real parallelism is available.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sbd::vtm {
+
+struct ThreadWork {
+  uint64_t uid = 0;           // stable thread identity (diffing across snapshots)
+  uint64_t busyNanos = 0;     // committed useful work
+  uint64_t abortedNanos = 0;  // discarded (re-executed) work
+  uint64_t blockedNanos = 0;  // lock/id/join waits
+};
+
+struct ModelInput {
+  std::vector<ThreadWork> threads;
+};
+
+struct ModelResult {
+  double workSeconds = 0;         // total work W
+  double criticalPathSeconds = 0; // max per-thread busy+aborted
+  double serialSeconds = 0;       // estimated non-overlappable time
+  double makespanSeconds = 0;     // T_P estimate
+  double utilization = 0;         // W / (P * T_P)
+};
+
+// Estimates the makespan on `cores` ideal cores.
+ModelResult estimate(const ModelInput& in, int cores);
+
+// Convenience: speedup curve T_1 / T_P for each entry of `coreCounts`.
+std::vector<double> speedup_curve(const ModelInput& in,
+                                  const std::vector<int>& coreCounts);
+
+// Snapshot collector: captures the per-thread counters of all SBD
+// threads registered with the TxnManager (call after joining workers,
+// diff two snapshots around the measured region).
+ModelInput snapshot_all_threads();
+ModelInput diff(const ModelInput& after, const ModelInput& before);
+
+}  // namespace sbd::vtm

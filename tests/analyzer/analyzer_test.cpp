@@ -1,0 +1,121 @@
+#include "analyzer/analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace sbd::analyzer {
+namespace {
+
+TEST(Lex, BasicTokens) {
+  auto toks = lex("int foo(int a) { return a + 42; }");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].kind, TokKind::kKeyword);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[1].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[1].text, "foo");
+}
+
+TEST(Lex, SkipsLineComments) {
+  auto toks = lex("int x; // comment with goto keyword\nint y;");
+  for (const auto& t : toks) EXPECT_NE(t.text, "goto");
+}
+
+TEST(Lex, SkipsBlockComments) {
+  auto toks = lex("a /* goto \n goto */ b");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[1].line, 2) << "block comments must advance line numbers";
+}
+
+TEST(Lex, StringsAreOpaque) {
+  auto toks = lex("x = \"goto 99 {\";");
+  int strings = 0;
+  for (const auto& t : toks)
+    if (t.kind == TokKind::kString) strings++;
+  EXPECT_EQ(strings, 1);
+  for (const auto& t : toks) {
+    EXPECT_NE(t.text, "goto");
+    if (t.kind == TokKind::kNumber) FAIL() << "number inside string leaked";
+  }
+}
+
+TEST(Lex, TracksLines) {
+  auto toks = lex("a\nb\n\nc");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 4);
+}
+
+std::vector<Violation> run_rule(const char* src, const char* rule) {
+  auto rules = default_rules();
+  auto all = analyze(src, rules);
+  std::vector<Violation> out;
+  for (auto& v : all)
+    if (v.rule == rule) out.push_back(v);
+  return out;
+}
+
+TEST(Rules, NoGotoFires) {
+  EXPECT_EQ(run_rule("void f() { goto end; }", "NoGoto").size(), 1u);
+  EXPECT_EQ(run_rule("void f() { return; }", "NoGoto").size(), 0u);
+}
+
+TEST(Rules, MagicNumberAllowsSmallConstants) {
+  EXPECT_EQ(run_rule("int x = 0; int y = 1; int z = 2;", "MagicNumber").size(), 0u);
+  EXPECT_EQ(run_rule("int x = 37;", "MagicNumber").size(), 1u);
+}
+
+TEST(Rules, UpperCamelType) {
+  EXPECT_EQ(run_rule("struct widget { };", "UpperCamelType").size(), 1u);
+  EXPECT_EQ(run_rule("struct Widget { };", "UpperCamelType").size(), 0u);
+  EXPECT_EQ(run_rule("class engine { };", "UpperCamelType").size(), 1u);
+}
+
+TEST(Rules, TooManyParams) {
+  EXPECT_EQ(
+      run_rule("int f(int a, int b, int c, int d, int e, int g) { return 0; }",
+               "TooManyParams")
+          .size(),
+      1u);
+  EXPECT_EQ(run_rule("int f(int a, int b) { return 0; }", "TooManyParams").size(), 0u);
+}
+
+TEST(Rules, DeepNesting) {
+  EXPECT_EQ(run_rule("void f() { if (1) { if (1) { if (1) { if (1) { int x; } } } } }",
+                     "DeepNesting")
+                .size(),
+            1u);
+  EXPECT_EQ(run_rule("void f() { if (1) { int x; } }", "DeepNesting").size(), 0u);
+}
+
+TEST(Rules, LongFunction) {
+  std::string body = "void f() {\n";
+  for (int i = 0; i < 45; i++) body += "int v" + std::to_string(i) + ";\n";
+  body += "}\n";
+  EXPECT_EQ(run_rule(body.c_str(), "LongFunction").size(), 1u);
+}
+
+TEST(SourceGen, DeterministicAndAnalyzable) {
+  SourceGenConfig cfg;
+  const std::string a = generate_source(cfg, 3);
+  const std::string b = generate_source(cfg, 3);
+  EXPECT_EQ(a, b);
+  auto rules = default_rules();
+  auto violations = analyze(a, rules);
+  EXPECT_GT(violations.size(), 0u) << "generated sources should trigger some rules";
+}
+
+TEST(SourceGen, DifferentFilesDiffer) {
+  SourceGenConfig cfg;
+  EXPECT_NE(generate_source(cfg, 1), generate_source(cfg, 2));
+}
+
+TEST(Analyze, FullPipelineCounts) {
+  SourceGenConfig cfg;
+  auto rules = default_rules();
+  size_t total = 0;
+  for (uint64_t f = 0; f < 10; f++) total += analyze(generate_source(cfg, f), rules).size();
+  EXPECT_GT(total, 10u);
+}
+
+}  // namespace
+}  // namespace sbd::analyzer

@@ -1,0 +1,54 @@
+#include "common/options.h"
+
+#include <gtest/gtest.h>
+
+namespace sbd {
+namespace {
+
+Options make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Options(static_cast<int>(args.size()),
+                 const_cast<char**>(const_cast<const char**>(args.data())));
+}
+
+TEST(Options, EqualsForm) {
+  auto o = make({"--threads=8"});
+  EXPECT_EQ(o.get_int("threads", 1), 8);
+}
+
+TEST(Options, SpaceForm) {
+  auto o = make({"--threads", "4"});
+  EXPECT_EQ(o.get_int("threads", 1), 4);
+}
+
+TEST(Options, BareFlagIsTrue) {
+  auto o = make({"--quick"});
+  EXPECT_TRUE(o.get_bool("quick", false));
+}
+
+TEST(Options, Defaults) {
+  auto o = make({});
+  EXPECT_EQ(o.get_int("missing", 42), 42);
+  EXPECT_EQ(o.get_str("missing", "d"), "d");
+  EXPECT_FALSE(o.get_bool("missing", false));
+  EXPECT_DOUBLE_EQ(o.get_double("missing", 1.5), 1.5);
+}
+
+TEST(Options, DoubleParsing) {
+  auto o = make({"--theta=0.99"});
+  EXPECT_DOUBLE_EQ(o.get_double("theta", 0), 0.99);
+}
+
+TEST(Options, Has) {
+  auto o = make({"--a=1"});
+  EXPECT_TRUE(o.has("a"));
+  EXPECT_FALSE(o.has("b"));
+}
+
+TEST(Options, BoolFalseValue) {
+  auto o = make({"--x=false"});
+  EXPECT_FALSE(o.get_bool("x", true));
+}
+
+}  // namespace
+}  // namespace sbd

@@ -1,0 +1,108 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace sbd {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; i++) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; i++)
+    if (a.next() == b.next()) same++;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; i++) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowZeroBoundIsZero) {
+  Rng r(7);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 20000; i++) {
+    int64_t v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo |= v == -3;
+    sawHi |= v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10000; i++) {
+    double u = r.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UnitMeanNearHalf) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; i++) sum += r.unit();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Zipf, StaysInRange) {
+  Zipf z(100, 0.9, 5);
+  for (int i = 0; i < 10000; i++) EXPECT_LT(z.next(), 100u);
+}
+
+TEST(Zipf, IsSkewedTowardLowRanks) {
+  Zipf z(1000, 0.99, 5);
+  int low = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; i++)
+    if (z.next() < 100) low++;
+  // With theta=0.99 the first 10% of ranks should draw well over half
+  // the probability mass.
+  EXPECT_GT(low, n / 2);
+}
+
+TEST(Zipf, Deterministic) {
+  Zipf a(50, 0.8, 123), b(50, 0.8, 123);
+  for (int i = 0; i < 500; i++) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Fnv, DistinctStringsDistinctHashes) {
+  std::set<uint64_t> hs;
+  hs.insert(fnv1a("alpha"));
+  hs.insert(fnv1a("beta"));
+  hs.insert(fnv1a("gamma"));
+  hs.insert(fnv1a(""));
+  hs.insert(fnv1a("alph"));
+  EXPECT_EQ(hs.size(), 5u);
+}
+
+TEST(Fnv, StableValue) { EXPECT_EQ(fnv1a("abc"), fnv1a("abc")); }
+
+TEST(Mix64, Deterministic) { EXPECT_EQ(mix64(99), mix64(99)); }
+
+TEST(Mix64, SpreadsBits) {
+  // Consecutive inputs should produce wildly different outputs.
+  std::set<uint64_t> top;
+  for (uint64_t i = 0; i < 64; i++) top.insert(mix64(i) >> 56);
+  EXPECT_GT(top.size(), 30u);
+}
+
+}  // namespace
+}  // namespace sbd

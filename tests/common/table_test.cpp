@@ -1,0 +1,37 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace sbd {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"Name", "Value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  // Every line of the body should start at column 0 with the first cell.
+  EXPECT_EQ(s.find("x"), s.find("\n", s.find("---")) + 1);
+}
+
+TEST(TextTable, PadsMissingCells) {
+  TextTable t({"A", "B", "C"});
+  t.add_row({"1"});
+  EXPECT_NE(t.to_string().find("1"), std::string::npos);
+}
+
+TEST(TextTable, FmtPrecision) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+}
+
+TEST(TextTable, FmtPct) { EXPECT_EQ(TextTable::fmt_pct(0.234, 1), "23.4%"); }
+
+TEST(TextTable, FmtCount) { EXPECT_EQ(TextTable::fmt_count(186639000), "186639k"); }
+
+TEST(TextTable, FmtBytes) { EXPECT_EQ(TextTable::fmt_bytes_k(1310720), "1280k"); }
+
+}  // namespace
+}  // namespace sbd

@@ -1,0 +1,61 @@
+#include "common/timing.h"
+
+#include <gtest/gtest.h>
+
+namespace sbd {
+namespace {
+
+TEST(Summarize, EmptyIsZero) {
+  auto st = summarize({});
+  EXPECT_EQ(st.mean, 0);
+  EXPECT_EQ(st.stddev, 0);
+}
+
+TEST(Summarize, ConstantSeries) {
+  auto st = summarize({2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(st.mean, 2.0);
+  EXPECT_DOUBLE_EQ(st.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(st.cov, 0.0);
+  EXPECT_DOUBLE_EQ(st.min, 2.0);
+  EXPECT_DOUBLE_EQ(st.max, 2.0);
+}
+
+TEST(Summarize, KnownValues) {
+  auto st = summarize({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(st.mean, 2.0);
+  EXPECT_DOUBLE_EQ(st.stddev, 1.0);
+  EXPECT_DOUBLE_EQ(st.cov, 0.5);
+}
+
+TEST(SteadyState, StopsOnLowVariance) {
+  SteadyStateConfig cfg;
+  cfg.window = 3;
+  cfg.maxIters = 50;
+  cfg.covLimit = 0.5;
+  int runs = 0;
+  auto st = measure_steady_state(cfg, [&] { runs++; });
+  EXPECT_GE(runs, 3);
+  EXPECT_LE(runs, 50);
+  EXPECT_GE(st.mean, 0.0);
+}
+
+TEST(SteadyState, RespectsMaxIters) {
+  SteadyStateConfig cfg;
+  cfg.window = 2;
+  cfg.maxIters = 4;
+  cfg.covLimit = -1.0;  // unreachable (cov >= 0): always run to maxIters
+  int runs = 0;
+  measure_steady_state(cfg, [&] { runs++; });
+  EXPECT_EQ(runs, 4);
+}
+
+TEST(Stopwatch, MeasuresElapsed) {
+  Stopwatch sw;
+  volatile uint64_t x = 0;
+  for (int i = 0; i < 100000; i++) x += static_cast<uint64_t>(i);
+  EXPECT_GT(sw.nanos(), 0u);
+  EXPECT_GE(sw.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace sbd

@@ -1,0 +1,111 @@
+// End-to-end tests of the six DaCapo analogs: both variants run the
+// same deterministic workload and must produce identical checksums
+// (single-threaded, where no scheduling nondeterminism exists), and the
+// SBD variants must exercise the STM (nonzero lock-operation counts).
+#include "dacapo/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace sbd::dacapo {
+namespace {
+
+Scale tiny() { return Scale{0.15}; }
+
+class DacapoVariants : public ::testing::TestWithParam<int> {};
+
+TEST(Dacapo, RegistryHasSixBenchmarks) {
+  auto all = all_benchmarks();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name, "LuIndex");
+  EXPECT_EQ(all[1].name, "LuSearch");
+  EXPECT_EQ(all[2].name, "PMD");
+  EXPECT_EQ(all[3].name, "Sunflow");
+  EXPECT_EQ(all[4].name, "H2");
+  EXPECT_EQ(all[5].name, "Tomcat");
+  EXPECT_TRUE(all[0].fixedThreads);
+}
+
+TEST(Dacapo, LuIndexChecksumsMatch) {
+  auto b = luindex_benchmark();
+  const auto base = b.baseline(tiny(), 1);
+  const auto sbdr = b.sbd(tiny(), 1);
+  EXPECT_EQ(base.checksum, sbdr.checksum);
+  EXPECT_GT(sbdr.stm.acqRls + sbdr.stm.checkNew + sbdr.stm.checkOwned, 0u);
+}
+
+TEST(Dacapo, LuSearchChecksumsMatch) {
+  auto b = lusearch_benchmark();
+  const auto base = b.baseline(tiny(), 2);
+  const auto sbdr = b.sbd(tiny(), 2);
+  EXPECT_EQ(base.checksum, sbdr.checksum);
+  EXPECT_GT(sbdr.stm.checkOwned, 0u);
+}
+
+TEST(Dacapo, PmdChecksumsMatch) {
+  auto b = pmd_benchmark();
+  const auto base = b.baseline(tiny(), 2);
+  const auto sbdr = b.sbd(tiny(), 2);
+  EXPECT_EQ(base.checksum, sbdr.checksum);
+  EXPECT_GT(sbdr.stm.commits, 0u);
+}
+
+TEST(Dacapo, SunflowChecksumsMatch) {
+  auto b = sunflow_benchmark();
+  const auto base = b.baseline(tiny(), 2);
+  const auto sbdr = b.sbd(tiny(), 2);
+  EXPECT_EQ(base.checksum, sbdr.checksum);
+  // Sunflow's profile: many lock inits + owned checks (Table 7).
+  EXPECT_GT(sbdr.stm.lockInit, 0u);
+  EXPECT_GT(sbdr.stm.checkOwned, sbdr.stm.acqRls);
+}
+
+TEST(Dacapo, H2ChecksumsMatchSingleThreaded) {
+  auto b = h2_benchmark();
+  const auto base = b.baseline(tiny(), 1);
+  const auto sbdr = b.sbd(tiny(), 1);
+  EXPECT_EQ(base.checksum, sbdr.checksum);
+}
+
+TEST(Dacapo, H2MultiThreadedCompletes) {
+  auto b = h2_benchmark();
+  const auto sbdr = b.sbd(tiny(), 4);
+  EXPECT_GT(sbdr.checksum, 0u);
+  EXPECT_GT(sbdr.stm.commits, 0u);
+}
+
+TEST(Dacapo, TomcatChecksumsMatch) {
+  auto b = tomcat_benchmark();
+  const auto base = b.baseline(tiny(), 2);
+  const auto sbdr = b.sbd(tiny(), 2);
+  EXPECT_EQ(base.checksum, sbdr.checksum);
+}
+
+TEST_P(DacapoVariants, SbdVariantsScaleWithoutCorruption) {
+  const int threads = GetParam();
+  // LuSearch is a read-heavy workload whose checksum is thread-count
+  // independent: per-thread query streams are seeded by thread id.
+  auto b = lusearch_benchmark();
+  const auto base = b.baseline(tiny(), threads);
+  const auto sbdr = b.sbd(tiny(), threads);
+  EXPECT_EQ(base.checksum, sbdr.checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, DacapoVariants, ::testing::Values(1, 2, 4));
+
+TEST(Dacapo, EffortReportsPopulated) {
+  for (const auto& b : all_benchmarks()) {
+    EXPECT_GT(b.effort.splits, 0) << b.name;
+    EXPECT_GT(b.effort.paperFinal, 0) << b.name;
+  }
+}
+
+TEST(Dacapo, SbdRunsProduceVtmInput) {
+  auto b = pmd_benchmark();
+  const auto r = b.sbd(tiny(), 2);
+  uint64_t busy = 0;
+  for (const auto& t : r.vtm.threads) busy += t.busyNanos;
+  EXPECT_GT(busy, 0u);
+}
+
+}  // namespace
+}  // namespace sbd::dacapo

@@ -1,0 +1,63 @@
+// Failure injection over the full benchmark stack: with a 10% chance of
+// a forced abort at every split, every benchmark must still produce the
+// exact same checksum — heap undo, stack restore, I/O replay, deferred
+// actions, and DB rollback all have to hold up under retry storms.
+#include <gtest/gtest.h>
+
+#include "core/inject.h"
+#include "dacapo/harness.h"
+
+namespace sbd::dacapo {
+namespace {
+
+struct Case {
+  const char* name;
+  Benchmark (*make)();
+  int threads;
+};
+
+void PrintTo(const Case& c, std::ostream* os) { *os << c.name << "/" << c.threads; }
+
+class InjectSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(InjectSweep, ChecksumsSurviveForcedAborts) {
+  const auto c = GetParam();
+  Benchmark b = c.make();
+  const Scale tiny{0.1};
+  const uint64_t clean = b.sbd(tiny, c.threads).checksum;
+  uint64_t injected;
+  uint64_t abortsFired;
+  {
+    core::AbortInjectionScope inject(0.10, /*seed=*/1234);
+    injected = b.sbd(tiny, c.threads).checksum;
+    abortsFired = core::injected_aborts();
+  }
+  EXPECT_EQ(clean, injected) << "retries must be invisible to the result";
+  EXPECT_GT(abortsFired, 0u) << "the injector should actually have fired";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benchmarks, InjectSweep,
+    ::testing::Values(Case{"LuIndex", &luindex_benchmark, 1},
+                      Case{"LuSearch", &lusearch_benchmark, 2},
+                      Case{"PMD", &pmd_benchmark, 2},
+                      Case{"Sunflow", &sunflow_benchmark, 2},
+                      Case{"H2", &h2_benchmark, 1},
+                      Case{"Tomcat", &tomcat_benchmark, 2}));
+
+TEST(Inject, RateZeroNeverFires) {
+  core::set_abort_injection(0);
+  for (int i = 0; i < 1000; i++) EXPECT_FALSE(core::should_inject_abort());
+}
+
+TEST(Inject, DeterministicSequence) {
+  core::set_abort_injection(0.5, 7);
+  std::vector<bool> a;
+  for (int i = 0; i < 64; i++) a.push_back(core::should_inject_abort());
+  core::set_abort_injection(0.5, 7);
+  for (int i = 0; i < 64; i++) EXPECT_EQ(core::should_inject_abort(), a[static_cast<size_t>(i)]);
+  core::set_abort_injection(0);
+}
+
+}  // namespace
+}  // namespace sbd::dacapo

@@ -1,0 +1,170 @@
+// The SBD-IL textual assembler.
+#include "il/asm.h"
+
+#include <gtest/gtest.h>
+
+#include "api/sbd.h"
+#include "il/interp.h"
+#include "il/opt.h"
+#include "il/transform.h"
+#include "il/verify.h"
+
+namespace sbd::il {
+namespace {
+
+TEST(IlAsm, AssemblesArithmetic) {
+  Module m;
+  assemble(m, R"(
+    fn addmul(a, b) {
+      t = add a b
+      two = 2
+      r = mul t two
+      ret r
+    }
+  )");
+  ASSERT_NE(m.get("addmul"), nullptr);
+  EXPECT_TRUE(verify(m).empty());
+  run_sbd([&] { EXPECT_EQ(execute(m, "addmul", {3, 4}), 14); });
+}
+
+TEST(IlAsm, LabelsAndBranches) {
+  Module m;
+  assemble(m, R"(
+    # sum of 0..n-1
+    fn sumto(n) {
+    entry:
+      i = 0
+      s = 0
+      one = 1
+      br loop
+    loop:
+      c = lt i n
+      cbr c body done
+    body:
+      s = add s i
+      i = add i one
+      br loop
+    done:
+      ret s
+    }
+  )");
+  run_sbd([&] { EXPECT_EQ(execute(m, "sumto", {10}), 45); });
+}
+
+TEST(IlAsm, FieldAndArrayAccess) {
+  Module m;
+  assemble(m, R"(
+    fn touch(unused) {
+      p = new Box/2
+      v = 41
+      setf p.0 = v
+      x = getf p.0
+      one = 1
+      x = add x one
+      setf p.1 = x
+      y = getf p.1
+      n = 8
+      arr = newarr [n]
+      i = 3
+      sete arr[i] = y
+      z = gete arr[i]
+      ret z
+    }
+  )");
+  ASSERT_TRUE(verify(m).empty());
+  run_sbd([&] { EXPECT_EQ(execute(m, "touch", {0}), 42); });
+}
+
+TEST(IlAsm, CallsAndSplit) {
+  Module m;
+  assemble(m, R"(
+    fn helper(x) {
+      two = 2
+      r = mul x two
+      ret r
+    }
+    fn main(n) canSplit {
+      a = call helper (n)
+      split
+      b = call helper (a)
+      ret b
+    }
+  )");
+  ASSERT_TRUE(verify(m).empty());
+  run_sbd([&] { EXPECT_EQ(execute(m, "main", {5}), 20); });
+}
+
+TEST(IlAsm, AllowSplitAnnotation) {
+  Module m;
+  assemble(m, R"(
+    fn splitter() canSplit {
+      split
+      ret
+    }
+    fn caller() canSplit {
+      call splitter () allowSplit
+      ret
+    }
+  )");
+  EXPECT_TRUE(verify(m).empty());
+}
+
+TEST(IlAsm, VerifierCatchesMissingAllowSplit) {
+  Module m;
+  assemble(m, R"(
+    fn splitter() canSplit {
+      split
+      ret
+    }
+    fn caller() canSplit {
+      call splitter ()
+      ret
+    }
+  )");
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(IlAsm, ErrorsCarryLineNumbers) {
+  Module m;
+  try {
+    assemble(m, "fn f() {\n  bogus stmt here\n}\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(IlAsm, RejectsStatementOutsideFunction) {
+  Module m;
+  EXPECT_THROW(assemble(m, "x = 1\n"), AsmError);
+}
+
+TEST(IlAsm, RejectsUnterminatedFunction) {
+  Module m;
+  EXPECT_THROW(assemble(m, "fn f() {\n  ret\n"), AsmError);
+}
+
+TEST(IlAsm, AssembledCodeOptimizes) {
+  Module m;
+  assemble(m, R"(
+    fn reads(p) {
+      a = getf p.0
+      b = getf p.0
+      c = add a b
+      ret c
+    }
+  )");
+  insert_locks(m);
+  const auto stats = eliminate_redundant_locks(m);
+  EXPECT_EQ(stats.locksEliminated, 1);
+  run_sbd([&] {
+    auto* cls = runtime::register_class("AsmOptProbe", {{"f", false, false}});
+    auto* o = runtime::Heap::instance().alloc_object(cls);
+    runtime::init_write(o, 0, 21);
+    split();
+    EXPECT_EQ(execute(m, "reads", {reinterpret_cast<int64_t>(o)}), 42);
+  });
+}
+
+}  // namespace
+}  // namespace sbd::il

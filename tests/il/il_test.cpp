@@ -1,0 +1,519 @@
+// SBD-IL: builder, verifier, transformer, optimizer, interpreter.
+#include <gtest/gtest.h>
+
+#include "api/sbd.h"
+#include "il/interp.h"
+#include "il/opt.h"
+#include "il/transform.h"
+#include "il/verify.h"
+
+namespace sbd::il {
+namespace {
+
+runtime::ClassInfo* point_class() {
+  static runtime::ClassInfo* ci = runtime::register_class(
+      "ILPoint", {SBD_SLOT("x"), SBD_SLOT("y"), SBD_SLOT_REF("link")});
+  return ci;
+}
+
+// fn sum(a, b) = a + b
+void build_sum(Module& m) {
+  FnBuilder fb(m, "sum", 2, 3);
+  fb.bin(2, BinOp::kAdd, 0, 1);
+  fb.ret(2);
+}
+
+// fn touch(p): p.x = p.x + 1; return p.x   (raw accesses)
+void build_touch(Module& m) {
+  FnBuilder fb(m, "touch", 1, 4);
+  fb.getf(1, 0, 0);
+  fb.cst(2, 1);
+  fb.bin(3, BinOp::kAdd, 1, 2);
+  fb.setf(0, 0, 3);
+  fb.getf(1, 0, 0);
+  fb.ret(1);
+}
+
+TEST(IlVerify, AcceptsWellFormed) {
+  Module m;
+  build_sum(m);
+  EXPECT_TRUE(verify(m).empty());
+}
+
+TEST(IlVerify, RejectsSplitWithoutCanSplit) {
+  Module m;
+  FnBuilder fb(m, "bad", 0, 1);
+  fb.split();
+  fb.ret();
+  auto d = verify(m);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_NE(d[0].find("V1"), std::string::npos);
+}
+
+TEST(IlVerify, RejectsCanSplitCallWithoutAllowSplit) {
+  Module m;
+  {
+    FnBuilder fb(m, "callee", 0, 1);
+    fb.can_split();
+    fb.split();
+    fb.ret();
+  }
+  {
+    FnBuilder fb(m, "caller", 0, 1);
+    fb.can_split();
+    fb.call(-1, "callee", {});  // missing allowSplit
+    fb.ret();
+  }
+  auto d = verify(m);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_NE(d[0].find("V2"), std::string::npos);
+}
+
+TEST(IlVerify, AcceptsAllowSplitCall) {
+  Module m;
+  {
+    FnBuilder fb(m, "callee", 0, 1);
+    fb.can_split();
+    fb.split();
+    fb.ret();
+  }
+  {
+    FnBuilder fb(m, "caller", 0, 1);
+    fb.can_split();
+    fb.call(-1, "callee", {}, /*allowSplit=*/true);
+    fb.ret();
+  }
+  EXPECT_TRUE(verify(m).empty());
+}
+
+TEST(IlVerify, RejectsCanSplitConstructor) {
+  Module m;
+  FnBuilder fb(m, "init", 0, 1);
+  fb.constructor();
+  fb.can_split();
+  fb.ret();
+  auto d = verify(m);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_NE(d[0].find("V4"), std::string::npos);
+}
+
+TEST(IlVerify, RejectsUnknownCallee) {
+  Module m;
+  FnBuilder fb(m, "f", 0, 1);
+  fb.call(-1, "nope", {});
+  fb.ret();
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(IlVerify, RejectsOutOfRangeLocal) {
+  Module m;
+  FnBuilder fb(m, "f", 0, 2);
+  fb.cst(5, 1);  // local 5 does not exist
+  fb.ret();
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(IlVerify, RejectsAllowSplitInNonCanSplit) {
+  Module m;
+  {
+    FnBuilder fb(m, "callee", 0, 1);
+    fb.can_split();
+    fb.ret();
+  }
+  {
+    FnBuilder fb(m, "caller", 0, 1);  // NOT canSplit
+    fb.call(-1, "callee", {}, true);
+    fb.ret();
+  }
+  auto d = verify(m);
+  // V3 (allowSplit without canSplit) fires.
+  bool v3 = false;
+  for (auto& s : d) v3 |= s.find("V3") != std::string::npos;
+  EXPECT_TRUE(v3);
+}
+
+TEST(IlTransform, InsertsLockBeforeEachAccess) {
+  Module m;
+  build_touch(m);
+  Function* f = m.get("touch");
+  EXPECT_EQ(count_ops(*f, Op::kLock), 0);
+  insert_locks(*f);
+  EXPECT_EQ(count_ops(*f, Op::kLock), 3);     // two gets + one set
+  EXPECT_EQ(count_ops(*f, Op::kGetF), 0);     // all rewritten
+  EXPECT_EQ(count_ops(*f, Op::kGetFNl), 2);
+  EXPECT_EQ(count_ops(*f, Op::kSetFNl), 1);
+}
+
+TEST(IlInterp, ArithmeticAndCalls) {
+  Module m;
+  build_sum(m);
+  run_sbd([&] { EXPECT_EQ(execute(m, "sum", {19, 23}), 42); });
+}
+
+TEST(IlInterp, FieldAccessTransactional) {
+  Module m;
+  build_touch(m);
+  insert_locks(m);
+  run_sbd([&] {
+    auto* o = runtime::Heap::instance().alloc_object(point_class());
+    runtime::init_write(o, 0, 7);
+    split();  // escape
+    const int64_t v = execute(m, "touch", {reinterpret_cast<int64_t>(o)});
+    EXPECT_EQ(v, 8);
+    EXPECT_EQ(static_cast<int64_t>(runtime::tx_read(o, 0)), 8);
+  });
+}
+
+TEST(IlInterp, LoopOverArray) {
+  // fn fill(arr, n): for i in 0..n: arr[i] = i*2; return arr[n-1]
+  Module m;
+  FnBuilder fb(m, "fill", 2, 8);
+  const int arr = 0, n = 1, i = 2, two = 3, v = 4, cond = 5, one = 6;
+  fb.cst(i, 0);
+  fb.cst(two, 2);
+  fb.cst(one, 1);
+  const int head = fb.block();
+  const int body = fb.block();
+  const int done = fb.block();
+  fb.br(head);
+  fb.at(head);
+  fb.bin(cond, BinOp::kLt, i, n);
+  fb.cbr(cond, body, done);
+  fb.at(body);
+  fb.bin(v, BinOp::kMul, i, two);
+  fb.sete(arr, i, v);
+  fb.bin(i, BinOp::kAdd, i, one);
+  fb.br(head);
+  fb.at(done);
+  fb.bin(v, BinOp::kSub, n, one);
+  fb.gete(cond, arr, v);
+  fb.ret(cond);
+  insert_locks(m);
+  ASSERT_TRUE(verify(m).empty());
+  run_sbd([&] {
+    auto* a = runtime::Heap::instance().alloc_array(runtime::ElemKind::kI64, 16);
+    EXPECT_EQ(execute(m, "fill", {reinterpret_cast<int64_t>(a), 16}), 30);
+  });
+}
+
+TEST(IlOpt, EliminatesRepeatLocks) {
+  Module m;
+  build_touch(m);
+  insert_locks(m);
+  Function* f = m.get("touch");
+  ASSERT_EQ(count_ops(*f, Op::kLock), 3);
+  auto stats = eliminate_redundant_locks(m);
+  // First lock is R on p.x; the W lock is NOT covered by R (upgrade),
+  // but the final R re-lock after the write IS covered by W.
+  EXPECT_EQ(stats.locksEliminated, 1);
+  EXPECT_EQ(count_ops(*f, Op::kLock), 2);
+}
+
+TEST(IlOpt, WriteLockCoversLaterReadAndWrite) {
+  Module m;
+  FnBuilder fb(m, "w", 1, 3);
+  fb.cst(1, 5);
+  fb.setf(0, 0, 1);  // write
+  fb.getf(2, 0, 0);  // read  (covered)
+  fb.setf(0, 0, 2);  // write (covered)
+  fb.ret(2);
+  insert_locks(m);
+  auto stats = eliminate_redundant_locks(m);
+  EXPECT_EQ(stats.locksEliminated, 2);
+  EXPECT_EQ(count_ops(*m.get("w"), Op::kLock), 1);
+}
+
+TEST(IlOpt, SplitKillsFacts) {
+  Module m;
+  FnBuilder fb(m, "s", 1, 2);
+  fb.can_split();
+  fb.getf(1, 0, 0);
+  fb.split();
+  fb.getf(1, 0, 0);  // must NOT be eliminated: split released the lock
+  fb.ret(1);
+  insert_locks(m);
+  auto stats = eliminate_redundant_locks(m);
+  EXPECT_EQ(stats.locksEliminated, 0);
+  EXPECT_EQ(count_ops(*m.get("s"), Op::kLock), 2);
+}
+
+TEST(IlOpt, CanSplitCallKillsFactsButPlainCallDoesNot) {
+  Module m;
+  {
+    FnBuilder fb(m, "plain", 0, 1);
+    fb.ret();
+  }
+  {
+    FnBuilder fb(m, "splitter", 0, 1);
+    fb.can_split();
+    fb.split();
+    fb.ret();
+  }
+  {
+    FnBuilder fb(m, "caller", 1, 2);
+    fb.can_split();
+    fb.getf(1, 0, 0);
+    fb.call(-1, "plain", {});
+    fb.getf(1, 0, 0);  // survives the plain call -> eliminated
+    fb.call(-1, "splitter", {}, true);
+    fb.getf(1, 0, 0);  // killed by the canSplit call -> kept
+    fb.ret(1);
+  }
+  insert_locks(m);
+  // Only transform the caller's view: eliminate on the whole module.
+  auto stats = eliminate_redundant_locks(m);
+  EXPECT_EQ(stats.locksEliminated, 1);
+  EXPECT_EQ(count_ops(*m.get("caller"), Op::kLock), 2);
+}
+
+TEST(IlOpt, NewInstanceLocksEliminated) {
+  Module m;
+  FnBuilder fb(m, "mk", 0, 3);
+  fb.new_obj(0, point_class());
+  fb.cst(1, 3);
+  fb.setf(0, 0, 1);  // store to a NEW object: lock removable
+  fb.getf(2, 0, 0);
+  fb.ret(2);
+  insert_locks(m);
+  auto stats = eliminate_redundant_locks(m);
+  EXPECT_EQ(stats.locksEliminated, 2);
+  EXPECT_EQ(count_ops(*m.get("mk"), Op::kLock), 0);
+}
+
+TEST(IlOpt, BranchesIntersectFacts) {
+  // Lock held on only one arm must not count after the merge.
+  Module m;
+  FnBuilder fb(m, "br", 2, 3);
+  const int thenB = fb.block();
+  const int elseB = fb.block();
+  const int merge = fb.block();
+  fb.at(0);
+  fb.cbr(1, thenB, elseB);
+  fb.at(thenB);
+  fb.getf(2, 0, 0);  // lock only on this arm
+  fb.br(merge);
+  fb.at(elseB);
+  fb.cst(2, 0);
+  fb.br(merge);
+  fb.at(merge);
+  fb.getf(2, 0, 0);  // NOT redundant (else-arm has no lock)
+  fb.ret(2);
+  insert_locks(m);
+  auto stats = eliminate_redundant_locks(m);
+  EXPECT_EQ(stats.locksEliminated, 0);
+}
+
+TEST(IlOpt, BothArmsLockedMergeKeepsFact) {
+  Module m;
+  FnBuilder fb(m, "br2", 2, 3);
+  const int thenB = fb.block();
+  const int elseB = fb.block();
+  const int merge = fb.block();
+  fb.at(0);
+  fb.cbr(1, thenB, elseB);
+  fb.at(thenB);
+  fb.getf(2, 0, 0);
+  fb.br(merge);
+  fb.at(elseB);
+  fb.getf(2, 0, 0);
+  fb.br(merge);
+  fb.at(merge);
+  fb.getf(2, 0, 0);  // redundant: locked on both arms
+  fb.ret(2);
+  insert_locks(m);
+  auto stats = eliminate_redundant_locks(m);
+  EXPECT_EQ(stats.locksEliminated, 1);
+}
+
+TEST(IlOpt, BaseReassignmentKillsFact) {
+  Module m;
+  FnBuilder fb(m, "re", 2, 3);
+  fb.getf(2, 0, 0);
+  fb.mov(0, 1);      // base reassigned
+  fb.getf(2, 0, 0);  // different object: must keep the lock
+  fb.ret(2);
+  insert_locks(m);
+  auto stats = eliminate_redundant_locks(m);
+  EXPECT_EQ(stats.locksEliminated, 0);
+}
+
+TEST(IlOpt, HoistsLoopInvariantLock) {
+  // for i in 0..n: s += p.x  -> the R lock on p.x hoists to the preheader.
+  Module m;
+  FnBuilder fb(m, "loop", 2, 8);
+  const int p = 0, n = 1, i = 2, s = 3, one = 4, cond = 5, t = 6;
+  fb.cst(i, 0);
+  fb.cst(s, 0);
+  fb.cst(one, 1);
+  const int pre = fb.block();
+  const int head = fb.block();
+  const int body = fb.block();
+  const int done = fb.block();
+  fb.br(pre);
+  fb.at(pre);
+  fb.br(head);
+  fb.at(head);
+  fb.getf(t, p, 0);  // invariant access first in the header
+  fb.bin(s, BinOp::kAdd, s, t);
+  fb.bin(i, BinOp::kAdd, i, one);
+  fb.bin(cond, BinOp::kLt, i, n);
+  fb.cbr(cond, body, done);
+  fb.at(body);
+  fb.br(head);
+  fb.at(done);
+  fb.ret(s);
+  insert_locks(m);
+  Function* f = m.get("loop");
+  const int before = count_ops(*f, Op::kLock);
+  auto stats = hoist_loop_locks(m);
+  EXPECT_EQ(stats.locksHoisted, 1);
+  EXPECT_EQ(count_ops(*f, Op::kLock), before);  // moved, not removed
+  // The preheader now holds the lock.
+  EXPECT_EQ(f->blocks[1].instrs.size(), 1u);
+  EXPECT_EQ(f->blocks[1].instrs[0].op, Op::kLock);
+}
+
+TEST(IlOpt, NoHoistWhenLoopSplits) {
+  Module m;
+  FnBuilder fb(m, "ls", 2, 8);
+  fb.can_split();
+  const int p = 0, n = 1, i = 2, one = 3, cond = 4, t = 5;
+  fb.cst(i, 0);
+  fb.cst(one, 1);
+  const int pre = fb.block();
+  const int head = fb.block();
+  const int done = fb.block();
+  fb.br(pre);
+  fb.at(pre);
+  fb.br(head);
+  fb.at(head);
+  fb.getf(t, p, 0);
+  fb.split();
+  fb.bin(i, BinOp::kAdd, i, one);
+  fb.bin(cond, BinOp::kLt, i, n);
+  fb.cbr(cond, head, done);
+  fb.at(done);
+  fb.ret(t);
+  insert_locks(m);
+  auto stats = hoist_loop_locks(m);
+  EXPECT_EQ(stats.locksHoisted, 0);
+}
+
+TEST(IlOpt, InlineSmallCallee) {
+  Module m;
+  build_sum(m);
+  {
+    FnBuilder fb(m, "main", 0, 4);
+    fb.cst(0, 20);
+    fb.cst(1, 22);
+    fb.call(2, "sum", {0, 1});
+    fb.ret(2);
+  }
+  auto stats = inline_small(m);
+  EXPECT_EQ(stats.callsInlined, 1);
+  EXPECT_EQ(count_ops(*m.get("main"), Op::kCall), 0);
+  run_sbd([&] { EXPECT_EQ(execute(m, "main", {}), 42); });
+}
+
+TEST(IlOpt, InlineWidensEliminationScope) {
+  // Caller locks p.x, then calls a small helper that locks p.x again.
+  // Without inlining the intraprocedural analysis cannot remove the
+  // helper's lock; after inlining it can.
+  Module m;
+  {
+    FnBuilder fb(m, "get_x", 1, 2);
+    fb.getf(1, 0, 0);
+    fb.ret(1);
+  }
+  {
+    FnBuilder fb(m, "use", 1, 3);
+    fb.getf(1, 0, 0);
+    fb.call(2, "get_x", {0});
+    fb.bin(1, BinOp::kAdd, 1, 2);
+    fb.ret(1);
+  }
+  insert_locks(m);
+  Module mNoInline;  // structurally identical copy for comparison
+  {
+    FnBuilder fb(mNoInline, "get_x", 1, 2);
+    fb.getf(1, 0, 0);
+    fb.ret(1);
+  }
+  {
+    FnBuilder fb(mNoInline, "use", 1, 3);
+    fb.getf(1, 0, 0);
+    fb.call(2, "get_x", {0});
+    fb.bin(1, BinOp::kAdd, 1, 2);
+    fb.ret(1);
+  }
+  insert_locks(mNoInline);
+
+  auto noInl = eliminate_redundant_locks(mNoInline);
+  EXPECT_EQ(count_ops(*mNoInline.get("use"), Op::kLock), 1);  // callee lock remains
+
+  inline_small(m);
+  eliminate_redundant_locks(m);
+  EXPECT_EQ(count_ops(*m.get("use"), Op::kLock), 1);  // only ONE lock total now
+  EXPECT_EQ(count_ops(*m.get("use"), Op::kCall), 0);
+  (void)noInl;
+  // Semantics preserved.
+  run_sbd([&] {
+    auto* o = runtime::Heap::instance().alloc_object(point_class());
+    runtime::init_write(o, 0, 21);
+    split();
+    EXPECT_EQ(execute(m, "use", {reinterpret_cast<int64_t>(o)}), 42);
+  });
+}
+
+TEST(IlOpt, OptimizedProgramExecutesFewerLockOps) {
+  // End-to-end ablation shape: same program, fewer dynamic lock
+  // operations after optimize(), identical result.
+  auto build = [](Module& m) {
+    FnBuilder fb(m, "hot", 2, 10);
+    const int p = 0, n = 1, i = 2, one = 3, cond = 4, t = 5, s = 6;
+    fb.cst(i, 0);
+    fb.cst(one, 1);
+    fb.cst(s, 0);
+    const int head = fb.block();
+    const int done = fb.block();
+    fb.br(head);
+    fb.at(head);
+    fb.getf(t, p, 0);
+    fb.bin(s, BinOp::kAdd, s, t);
+    fb.setf(p, 1, s);
+    fb.bin(i, BinOp::kAdd, i, one);
+    fb.bin(cond, BinOp::kLt, i, n);
+    fb.cbr(cond, head, done);
+    fb.at(done);
+    fb.ret(s);
+    insert_locks(m);
+  };
+  Module plain, optimized;
+  build(plain);
+  build(optimized);
+  optimize(optimized);
+
+  auto run_count = [&](Module& m) {
+    uint64_t ops = 0;
+    int64_t result = 0;
+    run_sbd([&] {
+      auto* o = runtime::Heap::instance().alloc_object(point_class());
+      runtime::init_write(o, 0, 3);
+      split();
+      auto& tc = core::tls_context();
+      const auto before = tc.stats;
+      result = execute(m, "hot", {reinterpret_cast<int64_t>(o), 100});
+      const auto after = tc.stats;
+      ops = (after.checkOwned - before.checkOwned) + (after.acqRls - before.acqRls) +
+            (after.checkNew - before.checkNew);
+    });
+    return std::pair<uint64_t, int64_t>(ops, result);
+  };
+  auto [plainOps, plainResult] = run_count(plain);
+  auto [optOps, optResult] = run_count(optimized);
+  EXPECT_EQ(plainResult, optResult);
+  EXPECT_LT(optOps, plainOps / 10) << "optimizer should remove most per-iteration checks";
+}
+
+}  // namespace
+}  // namespace sbd::il

@@ -1,0 +1,108 @@
+#include "raytrace/raytrace.h"
+
+#include <gtest/gtest.h>
+
+namespace sbd::raytrace {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ((a + b).x, 5);
+  EXPECT_DOUBLE_EQ((b - a).z, 3);
+  EXPECT_DOUBLE_EQ(a.dot(b), 32);
+  const Vec3 c = a.cross(b);
+  EXPECT_DOUBLE_EQ(c.x, -3);
+  EXPECT_DOUBLE_EQ(c.y, 6);
+  EXPECT_DOUBLE_EQ(c.z, -3);
+  EXPECT_NEAR((Vec3{3, 4, 0}).norm(), 5.0, 1e-12);
+  EXPECT_NEAR((Vec3{10, 0, 0}).normalized().x, 1.0, 1e-12);
+}
+
+TEST(Intersect, HitsSphereHeadOn) {
+  Scene s;
+  s.spheres.push_back(Sphere{{0, 0, 5}, 1, {}});
+  Ray r{{0, 0, 0}, {0, 0, 1}};
+  const HitInfo h = intersect(s, r);
+  ASSERT_TRUE(h.hit);
+  EXPECT_NEAR(h.t, 4.0, 1e-9);
+  EXPECT_NEAR(h.normal.z, -1.0, 1e-9);
+}
+
+TEST(Intersect, MissesOffAxis) {
+  Scene s;
+  s.spheres.push_back(Sphere{{0, 0, 5}, 1, {}});
+  Ray r{{0, 3, 0}, {0, 0, 1}};
+  EXPECT_FALSE(intersect(s, r).hit);
+}
+
+TEST(Intersect, NearestWins) {
+  Scene s;
+  s.spheres.push_back(Sphere{{0, 0, 10}, 1, {}});
+  Sphere near{{0, 0, 5}, 1, {}};
+  near.mat.color = {1, 0, 0};
+  s.spheres.push_back(near);
+  const HitInfo h = intersect(s, Ray{{0, 0, 0}, {0, 0, 1}});
+  ASSERT_TRUE(h.hit);
+  EXPECT_NEAR(h.t, 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.mat.color.x, 1);
+}
+
+TEST(Intersect, PlaneFromAbove) {
+  Scene s;
+  s.planes.push_back(Plane{{0, 0, 0}, {0, 1, 0}, {}});
+  const HitInfo h = intersect(s, Ray{{0, 2, 0}, Vec3{0, -1, 0}});
+  ASSERT_TRUE(h.hit);
+  EXPECT_NEAR(h.t, 2.0, 1e-9);
+}
+
+TEST(Trace, BackgroundWhenNothingHit) {
+  Scene s;
+  const Vec3 c = trace(s, Ray{{0, 0, 0}, {0, 0, 1}});
+  EXPECT_DOUBLE_EQ(c.x, s.background.x);
+}
+
+TEST(Trace, ShadowsDarkenOccludedPoints) {
+  Scene s;
+  s.planes.push_back(Plane{{0, 0, 0}, {0, 1, 0}, {}});
+  s.lights.push_back(Light{{0, 10, 0}, {1, 1, 1}});
+  // Point on the plane, lit from straight above.
+  const Vec3 lit = trace(s, Ray{{0, 3, -1}, Vec3{0, -1, 0.3}.normalized()});
+  // Now block the light with a sphere.
+  s.spheres.push_back(Sphere{{0, 5, 0}, 2, {}});
+  const Vec3 shadowed = trace(s, Ray{{0, 3, -1}, Vec3{0, -1, 0.3}.normalized()});
+  EXPECT_LT(shadowed.x + shadowed.y + shadowed.z, lit.x + lit.y + lit.z);
+}
+
+TEST(PackColor, ClampsAndGammas) {
+  EXPECT_EQ(pack_color({0, 0, 0}), 0u);
+  EXPECT_EQ(pack_color({1, 1, 1}), 0xFFFFFFu);
+  EXPECT_EQ(pack_color({5, -1, 1}), 0xFF00FFu);  // clamped
+}
+
+TEST(Render, DeterministicImage) {
+  const Scene s = demo_scene(42);
+  std::vector<uint32_t> img1(64 * 48), img2(64 * 48);
+  render_rows(s, 64, 48, 0, 48, img1.data());
+  render_rows(s, 64, 48, 0, 48, img2.data());
+  EXPECT_EQ(image_checksum(img1.data(), img1.size()),
+            image_checksum(img2.data(), img2.size()));
+}
+
+TEST(Render, RowPartitioningMatchesFullRender) {
+  const Scene s = demo_scene(7);
+  std::vector<uint32_t> whole(32 * 32), parts(32 * 32);
+  render_rows(s, 32, 32, 0, 32, whole.data());
+  render_rows(s, 32, 32, 0, 16, parts.data());
+  render_rows(s, 32, 32, 16, 32, parts.data());
+  EXPECT_EQ(whole, parts);
+}
+
+TEST(DemoScene, SeedControlsLayout) {
+  const Scene a = demo_scene(1), b = demo_scene(2), a2 = demo_scene(1);
+  EXPECT_EQ(a.spheres.size(), a2.spheres.size());
+  EXPECT_DOUBLE_EQ(a.spheres[0].center.x, a2.spheres[0].center.x);
+  EXPECT_NE(a.spheres[0].center.x, b.spheres[0].center.x);
+}
+
+}  // namespace
+}  // namespace sbd::raytrace

@@ -1,0 +1,12 @@
+// Custom gtest main: attaches the driver thread's stack to the
+// conservative GC (managed references held in test-body locals must be
+// visible as roots) before running the suite.
+#include <gtest/gtest.h>
+
+#include "runtime/heap.h"
+
+int main(int argc, char** argv) {
+  SBD_ATTACH_THREAD();
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

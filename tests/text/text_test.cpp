@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "text/analysis.h"
+#include "text/index.h"
+
+namespace sbd::text {
+namespace {
+
+TEST(Tokenize, LowercasesAndSplits) {
+  auto toks = tokenize("Hello, World! This is C++ code.");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0], "hello");
+  EXPECT_EQ(toks[1], "world");
+  EXPECT_EQ(toks[2], "this");
+  EXPECT_EQ(toks[3], "is");
+  EXPECT_EQ(toks[4], "code");
+}
+
+TEST(Tokenize, DropsSingleChars) {
+  auto toks = tokenize("a bb c dd");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "bb");
+  EXPECT_EQ(toks[1], "dd");
+}
+
+TEST(Stem, StripsCommonSuffixes) {
+  EXPECT_EQ(stem("running"), "runn");
+  EXPECT_EQ(stem("jumped"), "jump");
+  EXPECT_EQ(stem("quickly"), "quick");
+  EXPECT_EQ(stem("boxes"), "box");
+  EXPECT_EQ(stem("cats"), "cat");
+  EXPECT_EQ(stem("glass"), "glass");  // -ss guarded
+  EXPECT_EQ(stem("darkness"), "dark");
+}
+
+TEST(Stem, GuardsShortStems) {
+  EXPECT_EQ(stem("ing"), "ing");
+  EXPECT_EQ(stem("is"), "is");
+}
+
+TEST(Corpus, Deterministic) {
+  CorpusConfig cfg;
+  EXPECT_EQ(generate_document(cfg, 7), generate_document(cfg, 7));
+  EXPECT_NE(generate_document(cfg, 7), generate_document(cfg, 8));
+  EXPECT_EQ(generate_document(cfg, 3).size(), cfg.wordsPerDoc);
+}
+
+TEST(Corpus, QueriesDrawFromVocabulary) {
+  CorpusConfig cfg;
+  auto q = generate_query(cfg, 1, 4);
+  ASSERT_EQ(q.size(), 4u);
+  const auto& vocab = vocabulary();
+  for (const auto& term : q)
+    EXPECT_NE(std::find(vocab.begin(), vocab.end(), term), vocab.end());
+}
+
+TEST(Index, PostingsAndDocCounts) {
+  InvertedIndex idx;
+  idx.add_document(0, {"alpha", "beta", "alpha"});
+  idx.add_document(1, {"beta", "gamma"});
+  EXPECT_EQ(idx.doc_count(), 2u);
+  EXPECT_EQ(idx.doc_length(0), 3u);
+  ASSERT_NE(idx.postings("alpha"), nullptr);
+  EXPECT_EQ(idx.postings("alpha")->size(), 1u);
+  EXPECT_EQ((*idx.postings("alpha"))[0].termFreq, 2u);
+  EXPECT_EQ(idx.postings("beta")->size(), 2u);
+  EXPECT_EQ(idx.postings("nope"), nullptr);
+}
+
+TEST(Index, SearchRanksByTfIdf) {
+  InvertedIndex idx;
+  idx.add_document(0, {"apple", "apple", "apple", "pear"});
+  idx.add_document(1, {"apple", "banana", "cherry", "plum"});
+  idx.add_document(2, {"kiwi", "banana"});
+  auto hits = idx.search({"apple"}, 10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].docId, 0u) << "higher term frequency must rank first";
+  EXPECT_GT(hits[0].score, hits[1].score);
+}
+
+TEST(Index, TopKBoundsResults) {
+  InvertedIndex idx;
+  for (uint32_t d = 0; d < 20; d++) idx.add_document(d, {"common", "word"});
+  auto hits = idx.search({"common"}, 5);
+  EXPECT_EQ(hits.size(), 5u);
+}
+
+TEST(Index, DeterministicTieBreakByDocId) {
+  InvertedIndex idx;
+  idx.add_document(3, {"tie", "word"});
+  idx.add_document(1, {"tie", "word"});
+  idx.add_document(2, {"tie", "word"});
+  auto hits = idx.search({"tie"}, 10);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].docId, 1u);
+  EXPECT_EQ(hits[1].docId, 2u);
+  EXPECT_EQ(hits[2].docId, 3u);
+}
+
+TEST(Index, SerializeRoundTrip) {
+  InvertedIndex idx;
+  idx.add_document(0, {"serialize", "me", "me"});
+  idx.add_document(1, {"round", "trip", "me"});
+  const std::string blob = idx.serialize();
+  InvertedIndex back = InvertedIndex::deserialize(blob);
+  EXPECT_EQ(back.doc_count(), 2u);
+  EXPECT_EQ(back.doc_length(0), 3u);
+  ASSERT_NE(back.postings("me"), nullptr);
+  EXPECT_EQ(back.postings("me")->size(), 2u);
+  // Search results identical.
+  auto a = idx.search({"me", "round"}, 10);
+  auto b = back.search({"me", "round"}, 10);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i++) {
+    EXPECT_EQ(a[i].docId, b[i].docId);
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+  }
+}
+
+TEST(Index, SerializeIsDeterministic) {
+  auto build = [] {
+    InvertedIndex idx;
+    CorpusConfig cfg;
+    cfg.numDocs = 20;
+    for (uint64_t d = 0; d < cfg.numDocs; d++)
+      idx.add_document(static_cast<uint32_t>(d), generate_document(cfg, d));
+    return idx.serialize();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(Scoring, TfIdfProperties) {
+  // More frequent in doc -> higher; rarer in corpus -> higher.
+  EXPECT_GT(tfidf_score(4, 2, 100, 50), tfidf_score(2, 2, 100, 50));
+  EXPECT_GT(tfidf_score(2, 2, 100, 50), tfidf_score(2, 50, 100, 50));
+  EXPECT_EQ(tfidf_score(2, 0, 100, 50), 0);
+  EXPECT_EQ(tfidf_score(2, 2, 100, 0), 0);
+}
+
+}  // namespace
+}  // namespace sbd::text

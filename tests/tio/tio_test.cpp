@@ -1,0 +1,258 @@
+// Transactional I/O wrappers: deferral, replay, abort semantics (§3.4/§4.4).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "api/sbd.h"
+#include "tio/console.h"
+#include "tio/file.h"
+
+namespace sbd::tio {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return std::string("/tmp/sbd_tio_test_") + name + "_" + std::to_string(getpid());
+}
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return {};
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+class ConsoleCapture {
+ public:
+  ConsoleCapture() {
+    TxConsole::clear_captured();
+    TxConsole::capture_to_string(true);
+  }
+  ~ConsoleCapture() { TxConsole::capture_to_string(false); }
+};
+
+TEST(Console, OutputDeferredUntilSectionEnd) {
+  ConsoleCapture cap;
+  run_sbd([&] {
+    TxConsole::print("hello");
+    EXPECT_EQ(TxConsole::captured(), "") << "output must not be visible mid-section";
+    EXPECT_EQ(TxConsole::pending_bytes(), 5u);
+    split();
+    EXPECT_EQ(TxConsole::captured(), "hello");
+    EXPECT_EQ(TxConsole::pending_bytes(), 0u);
+  });
+}
+
+TEST(Console, AbortDiscardsOutput) {
+  ConsoleCapture cap;
+  run_sbd([&] {
+    static bool aborted;
+    aborted = false;
+    split();
+    TxConsole::print("doomed;");
+    if (!aborted) {
+      aborted = true;
+      core::abort_and_restart(core::tls_context());
+    }
+    split();
+  });
+  // The aborted attempt printed "doomed;" once and was rolled back; the
+  // retry printed it again and committed. Exactly one copy must appear.
+  EXPECT_EQ(TxConsole::captured(), "doomed;");
+}
+
+TEST(Console, DirectWhenOutsideSection) {
+  ConsoleCapture cap;
+  TxConsole::print("direct");
+  EXPECT_EQ(TxConsole::captured(), "direct");
+}
+
+TEST(Console, PerThreadAggregationIsAtomic) {
+  ConsoleCapture cap;
+  {
+    std::vector<SbdThread> ts;
+    for (int t = 0; t < 3; t++) {
+      ts.emplace_back([&, t] {
+        for (int i = 0; i < 20; i++) {
+          const std::string tag(3, static_cast<char>('a' + t));
+          TxConsole::print(tag);  // 3 chars, one section each
+          split();
+        }
+      });
+    }
+    for (auto& t : ts) t.start();
+    for (auto& t : ts) t.join();
+  }
+  // Sections commit atomically: every 3-char group is homogeneous.
+  const std::string out = TxConsole::captured();
+  ASSERT_EQ(out.size(), 180u);
+  for (size_t i = 0; i < out.size(); i += 3) {
+    EXPECT_EQ(out[i], out[i + 1]);
+    EXPECT_EQ(out[i], out[i + 2]);
+  }
+}
+
+TEST(FileWriter, CommitAppliesAbortDiscards) {
+  const std::string path = tmp_path("writer");
+  {
+    TxFileWriter w(path);
+    run_sbd([&] {
+      static bool aborted;
+      aborted = false;
+      split();
+      w.write("A");
+      EXPECT_EQ(w.committed_bytes(), 0u) << "write must be deferred";
+      if (!aborted) {
+        aborted = true;
+        core::abort_and_restart(core::tls_context());
+      }
+      split();  // commit: exactly one "A" (the retry's) lands
+      EXPECT_EQ(w.committed_bytes(), 1u);
+    });
+  }
+  EXPECT_EQ(slurp(path), "A");
+  std::remove(path.c_str());
+}
+
+TEST(FileWriter, MultipleSectionsAppendInOrder) {
+  const std::string path = tmp_path("append");
+  {
+    TxFileWriter w(path);
+    run_sbd([&] {
+      w.write("one ");
+      split();
+      w.write("two ");
+      split();
+      w.write("three");
+    });
+  }
+  EXPECT_EQ(slurp(path), "one two three");
+  std::remove(path.c_str());
+}
+
+TEST(FileWriter, DirectOutsideSection) {
+  const std::string path = tmp_path("direct");
+  {
+    TxFileWriter w(path);
+    w.write("now");
+    EXPECT_EQ(w.committed_bytes(), 3u);
+  }
+  EXPECT_EQ(slurp(path), "now");
+  std::remove(path.c_str());
+}
+
+TEST(FileReader, ReplayAfterAbortServesSameBytes) {
+  const std::string path = tmp_path("reader");
+  {
+    TxFileWriter w(path);
+    w.write("abcdefghij");
+  }
+  TxFileReader r(path);
+  ASSERT_TRUE(r.ok());
+  std::string firstAttempt, retryAttempt;
+  run_sbd([&] {
+    static bool aborted;
+    aborted = false;
+    split();
+    char buf[5] = {};
+    ASSERT_EQ(r.read(buf, 4), 4u);
+    if (!aborted) {
+      aborted = true;
+      firstAttempt.assign(buf, 4);
+      core::abort_and_restart(core::tls_context());
+    }
+    retryAttempt.assign(buf, 4);
+    split();
+  });
+  EXPECT_EQ(firstAttempt, "abcd");
+  EXPECT_EQ(retryAttempt, "abcd") << "the retry must see the same input (B_R replay)";
+  // After commit the stream continues where the section left off.
+  run_sbd([&] {
+    char buf[7] = {};
+    EXPECT_EQ(r.read(buf, 6), 6u);
+    EXPECT_EQ(std::string(buf, 6), "efghij");
+  });
+  std::remove(path.c_str());
+}
+
+TEST(FileReader, ReadLineSplitsOnNewlines) {
+  const std::string path = tmp_path("lines");
+  {
+    TxFileWriter w(path);
+    w.write("first\nsecond\nlast");
+  }
+  TxFileReader r(path);
+  run_sbd([&] {
+    std::string line;
+    EXPECT_TRUE(r.read_line(line));
+    EXPECT_EQ(line, "first");
+    EXPECT_TRUE(r.read_line(line));
+    EXPECT_EQ(line, "second");
+    EXPECT_TRUE(r.read_line(line));
+    EXPECT_EQ(line, "last");
+    EXPECT_FALSE(r.read_line(line));
+  });
+  std::remove(path.c_str());
+}
+
+TEST(FileReader, EofReturnsZero) {
+  const std::string path = tmp_path("eof");
+  {
+    TxFileWriter w(path);
+    w.write("x");
+  }
+  TxFileReader r(path);
+  run_sbd([&] {
+    char c;
+    EXPECT_EQ(r.read(&c, 1), 1u);
+    EXPECT_EQ(r.read(&c, 1), 0u);
+  });
+  std::remove(path.c_str());
+}
+
+TEST(ReplayBuffer, ServeThenConsumeInterleaved) {
+  ReplayBuffer rb;
+  rb.consumed("abc", 3);
+  rb.on_abort();  // rearm
+  char out[8] = {};
+  EXPECT_EQ(rb.serve(out, 2), 2u);
+  EXPECT_EQ(std::string(out, 2), "ab");
+  EXPECT_EQ(rb.serve(out, 8), 1u);  // only 'c' left
+  EXPECT_EQ(out[0], 'c');
+  EXPECT_TRUE(rb.exhausted());
+  rb.consumed("de", 2);
+  rb.on_abort();
+  EXPECT_EQ(rb.serve(out, 8), 5u);  // full replay: abcde
+  EXPECT_EQ(std::string(out, 5), "abcde");
+  rb.on_commit();
+  EXPECT_EQ(rb.size(), 0u);
+}
+
+TEST(DeferBuffer, AccumulatesAndClears) {
+  DeferBuffer db;
+  db.append("ab");
+  db.append("cd", 2);
+  EXPECT_EQ(db.size(), 4u);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(db.bytes().data()), 4), "abcd");
+  db.clear();
+  EXPECT_TRUE(db.empty());
+}
+
+TEST(BufferBytesReportedForTable8, WriterCountsPending) {
+  const std::string path = tmp_path("t8");
+  TxFileWriter w(path);
+  run_sbd([&] {
+    w.write("12345");
+    EXPECT_EQ(core::tls_context().txn.buffer_bytes(), 5u);
+    split();
+    EXPECT_EQ(core::tls_context().txn.buffer_bytes(), 0u);
+  });
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sbd::tio

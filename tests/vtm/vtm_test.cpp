@@ -1,0 +1,77 @@
+#include "vtm/vtm.h"
+
+#include <gtest/gtest.h>
+
+namespace sbd::vtm {
+namespace {
+
+ModelInput balanced(int threads, uint64_t busyEach) {
+  ModelInput in;
+  for (int i = 0; i < threads; i++)
+    in.threads.push_back(ThreadWork{static_cast<uint64_t>(i + 1), busyEach, 0, 0});
+  return in;
+}
+
+TEST(Vtm, PerfectlyParallelWorkScalesLinearly) {
+  const auto in = balanced(8, 1'000'000'000);
+  const auto r1 = estimate(in, 1);
+  const auto r8 = estimate(in, 8);
+  EXPECT_NEAR(r1.makespanSeconds / r8.makespanSeconds, 8.0, 1e-9);
+  EXPECT_NEAR(r8.utilization, 1.0, 1e-9);
+}
+
+TEST(Vtm, CriticalPathLimitsSpeedup) {
+  // One long thread dominates: more cores cannot help beyond its length.
+  ModelInput in;
+  in.threads.push_back(ThreadWork{100, 8'000'000'000, 0, 0});
+  for (int i = 0; i < 7; i++)
+    in.threads.push_back(ThreadWork{static_cast<uint64_t>(i + 1), 1'000'000'000, 0, 0});
+  const auto r = estimate(in, 32);
+  EXPECT_NEAR(r.makespanSeconds, 8.0, 1e-9);
+}
+
+TEST(Vtm, AbortedWorkCountsAsWork) {
+  ModelInput clean = balanced(4, 1'000'000'000);
+  ModelInput churny = clean;
+  for (auto& t : churny.threads) t.abortedNanos = 1'000'000'000;
+  EXPECT_GT(estimate(churny, 4).makespanSeconds, estimate(clean, 4).makespanSeconds);
+}
+
+TEST(Vtm, BlockedTimeCreatesSerialFloor) {
+  ModelInput in = balanced(4, 1'000'000'000);
+  for (auto& t : in.threads) t.blockedNanos = 9'000'000'000;
+  const auto r = estimate(in, 4);
+  EXPECT_GT(r.serialSeconds, 1.0);
+  EXPECT_GE(r.makespanSeconds, r.serialSeconds);
+}
+
+TEST(Vtm, SpeedupCurveMonotoneForParallelWork) {
+  const auto in = balanced(16, 500'000'000);
+  const auto curve = speedup_curve(in, {1, 2, 4, 8, 16});
+  ASSERT_EQ(curve.size(), 5u);
+  EXPECT_NEAR(curve[0], 1.0, 1e-9);
+  for (size_t i = 1; i < curve.size(); i++) EXPECT_GE(curve[i], curve[i - 1]);
+  EXPECT_NEAR(curve[4], 16.0, 1e-9);
+}
+
+TEST(Vtm, ContendedCurveFlattens) {
+  // Heavy blocking -> the curve should flatten well below core count.
+  ModelInput in = balanced(16, 500'000'000);
+  for (auto& t : in.threads) t.blockedNanos = 30'000'000'000ULL;
+  const auto curve = speedup_curve(in, {1, 16});
+  EXPECT_LT(curve[1], 8.0);
+}
+
+TEST(Vtm, DiffSubtractsBaseline) {
+  ModelInput before = balanced(2, 100), after = balanced(2, 300);
+  const auto d = diff(after, before);
+  EXPECT_EQ(d.threads[0].busyNanos, 200u);
+}
+
+TEST(Vtm, EmptyInputYieldsZero) {
+  const auto r = estimate(ModelInput{}, 4);
+  EXPECT_EQ(r.makespanSeconds, 0);
+}
+
+}  // namespace
+}  // namespace sbd::vtm
