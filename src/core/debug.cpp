@@ -1,0 +1,96 @@
+#include "core/debug.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "common/timing.h"
+
+namespace sbd::core {
+
+namespace {
+std::atomic<bool> gEnabled{false};
+std::mutex gLogMu;
+std::vector<DebugEvent> gEvents;
+}  // namespace
+
+void DebugLog::enable(bool on) { gEnabled.store(on, std::memory_order_release); }
+
+bool DebugLog::enabled() { return gEnabled.load(std::memory_order_acquire); }
+
+void DebugLog::record(DebugEventKind kind, int txnId, int other, const void* lock,
+                      bool wantWrite) {
+  if (!enabled()) return;
+  DebugEvent e;
+  e.kind = kind;
+  e.txnId = txnId;
+  e.other = other;
+  e.lockAddr = reinterpret_cast<uint64_t>(lock);
+  e.wantWrite = wantWrite;
+  e.timestampNanos = now_nanos();
+  std::lock_guard<std::mutex> lk(gLogMu);
+  gEvents.push_back(e);
+}
+
+std::vector<DebugEvent> DebugLog::drain() {
+  std::lock_guard<std::mutex> lk(gLogMu);
+  std::vector<DebugEvent> out;
+  out.swap(gEvents);
+  return out;
+}
+
+size_t DebugLog::size() {
+  std::lock_guard<std::mutex> lk(gLogMu);
+  return gEvents.size();
+}
+
+std::string DebugLog::summarize(const std::vector<DebugEvent>& events) {
+  struct LockStats {
+    int blocks = 0;
+    int writes = 0;
+  };
+  std::map<uint64_t, LockStats> byLock;
+  int deadlocks = 0, aborts = 0, stalls = 0, idStalls = 0, escalations = 0;
+  for (const DebugEvent& e : events) {
+    switch (e.kind) {
+      case DebugEventKind::kBlocked: {
+        auto& s = byLock[e.lockAddr];
+        s.blocks++;
+        if (e.wantWrite) s.writes++;
+        break;
+      }
+      case DebugEventKind::kDeadlock:
+        deadlocks++;
+        break;
+      case DebugEventKind::kAborted:
+        aborts++;
+        break;
+      case DebugEventKind::kWatchdogStall:
+        stalls++;
+        break;
+      case DebugEventKind::kIdPoolStall:
+        idStalls++;
+        break;
+      case DebugEventKind::kEscalated:
+        escalations++;
+        break;
+      default:
+        break;
+    }
+  }
+  std::ostringstream os;
+  os << "debug log: " << events.size() << " events, " << deadlocks << " deadlocks, "
+     << aborts << " aborts";
+  if (stalls || idStalls || escalations)
+    os << ", " << stalls << " stalls, " << idStalls << " id-pool stalls, "
+       << escalations << " escalations";
+  os << "\n";
+  for (const auto& [addr, s] : byLock) {
+    os << "  lock 0x" << std::hex << addr << std::dec << ": blocked " << s.blocks
+       << "x (" << s.writes << " writes)\n";
+  }
+  return os.str();
+}
+
+}  // namespace sbd::core

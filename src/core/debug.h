@@ -1,0 +1,54 @@
+// The paper's §6 debug mode: "We implemented a small debug mode in our
+// runtime system that logs the blocked threads, and deadlock
+// situations. This information together with the fact that SBD allows
+// a programmer to incrementally add concurrency allows to resolve
+// these issues mechanically by looking through this log."
+//
+// When enabled, the STM records an event for every contended lock wait
+// and every resolved deadlock, with the transaction ids involved — the
+// raw material for deciding where to put the next split.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbd::core {
+
+enum class DebugEventKind : uint8_t {
+  kBlocked,    // a transaction entered a wait queue
+  kGranted,    // ...and eventually got the lock
+  kDeadlock,   // a cycle was detected; `other` is the chosen victim
+  kAborted,    // a transaction rolled back and will retry
+  kWatchdogStall,  // watchdog saw a transaction blocked past the threshold
+  kIdPoolStall,    // id-pool acquire exceeded a timeout slice (§3.3 pressure)
+  kEscalated,      // retry budget exhausted; section now runs serialized
+};
+
+struct DebugEvent {
+  DebugEventKind kind;
+  int txnId;            // who the event happened to
+  int other;            // victim id (kDeadlock), -1 otherwise
+  uint64_t lockAddr;    // identity of the contended lock word (0 if n/a)
+  bool wantWrite;
+  uint64_t timestampNanos;
+};
+
+class DebugLog {
+ public:
+  static void enable(bool on);
+  static bool enabled();
+
+  static void record(DebugEventKind kind, int txnId, int other, const void* lock,
+                     bool wantWrite);
+
+  // Drains and returns all recorded events (oldest first).
+  static std::vector<DebugEvent> drain();
+  static size_t size();
+
+  // Renders events into the per-lock contention summary the paper's
+  // workflow needs: "which locks block whom, how often".
+  static std::string summarize(const std::vector<DebugEvent>& events);
+};
+
+}  // namespace sbd::core

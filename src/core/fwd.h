@@ -1,0 +1,27 @@
+// Shared forward declarations and compile-time constants of the SBD STM.
+#pragma once
+
+#include <cstdint>
+
+namespace sbd {
+
+class Transaction;
+struct ThreadContext;
+
+namespace runtime {
+struct ManagedObject;  // defined in runtime/object.h; core treats it opaquely
+}
+
+namespace core {
+
+// The lock structure is one 64-bit word (the largest CAS the paper's
+// platform supports): 56 owner bits, the writer flag W, the upgrader
+// bit U, and a 6-bit wait-queue id (paper §4.2 / Fig. 4b).
+inline constexpr int kMaxTxns = 56;          // bit-set size -> max concurrent txns
+inline constexpr int kQueueIdBits = 6;       // 6-bit queue id
+inline constexpr int kNumQueues = 63;        // ids 1..63; 0 means "no queue"
+
+using LockWord = uint64_t;
+
+}  // namespace core
+}  // namespace sbd

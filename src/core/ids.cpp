@@ -1,0 +1,76 @@
+#include "core/ids.h"
+
+#include <bit>
+#include <chrono>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace sbd::core {
+
+TxnIdPool::TxnIdPool() : freeBits_((1ULL << kMaxTxns) - 1) {}
+
+int TxnIdPool::pop_free_locked() {
+  const int id = std::countr_zero(freeBits_);
+  freeBits_ &= ~(1ULL << id);
+  return id;
+}
+
+int TxnIdPool::acquire() {
+  std::unique_lock<std::mutex> lk(mu_);
+  waiters_++;
+  cv_.wait(lk, [&] { return freeBits_ != 0; });
+  waiters_--;
+  return pop_free_locked();
+}
+
+int TxnIdPool::acquire_for(uint64_t timeoutNanos) {
+  std::unique_lock<std::mutex> lk(mu_);
+  waiters_++;
+  const bool got = cv_.wait_for(lk, std::chrono::nanoseconds(timeoutNanos),
+                                [&] { return freeBits_ != 0; });
+  waiters_--;
+  if (!got) return -1;
+  return pop_free_locked();
+}
+
+int TxnIdPool::try_acquire() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (freeBits_ == 0) return -1;
+  return pop_free_locked();
+}
+
+void TxnIdPool::release(int id) {
+  SBD_CHECK(id >= 0 && id < kMaxTxns);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    SBD_CHECK_MSG((freeBits_ & (1ULL << id)) == 0, "double release of txn id");
+    freeBits_ |= 1ULL << id;
+  }
+  cv_.notify_one();
+}
+
+int TxnIdPool::available() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return std::popcount(freeBits_);
+}
+
+int TxnIdPool::waiters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return waiters_;
+}
+
+std::string TxnIdPool::diagnose() const {
+  int free, waiting;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    free = std::popcount(freeBits_);
+    waiting = waiters_;
+  }
+  std::ostringstream os;
+  os << "txn-id pool: " << free << "/" << kMaxTxns << " free, " << waiting
+     << " waiting";
+  return os.str();
+}
+
+}  // namespace sbd::core

@@ -1,0 +1,53 @@
+// The transaction-id pool: at most kMaxTxns (56) transactions run
+// concurrently, one bit each in every lock word. If no id is free a
+// starting transaction blocks until one is released (paper §3.3 — safe
+// because sections never nest and waiting threads release their id).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "core/fwd.h"
+
+namespace sbd::core {
+
+class TxnIdPool {
+ public:
+  TxnIdPool();
+
+  // Blocks until an id is available. Returns id in [0, kMaxTxns).
+  // The caller must publish the owning Transaction via TxnManager before
+  // taking any lock.
+  int acquire();
+
+  // Non-blocking variant; returns -1 if the pool is exhausted.
+  int try_acquire();
+
+  // Timeout-and-diagnose variant: blocks at most timeoutNanos, returns
+  // -1 on timeout so the caller can report the stall (core/watchdog.h)
+  // and keep waiting in bounded slices instead of blocking invisibly.
+  int acquire_for(uint64_t timeoutNanos);
+
+  void release(int id);
+
+  int available() const;
+
+  // Number of threads currently blocked in acquire/acquire_for.
+  int waiters() const;
+
+  // One-line snapshot ("txn-id pool: 0/56 free, 6 waiting") for stall
+  // diagnostics; safe to call from any thread.
+  std::string diagnose() const;
+
+ private:
+  int pop_free_locked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t freeBits_;   // bit i set <=> id i free
+  int waiters_ = 0;     // threads blocked waiting for an id
+};
+
+}  // namespace sbd::core

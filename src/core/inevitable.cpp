@@ -1,0 +1,75 @@
+#include "core/inevitable.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/check.h"
+#include "core/transaction.h"
+
+namespace sbd::core {
+
+namespace {
+
+std::mutex gTokenMu;
+std::condition_variable gTokenCv;
+ThreadContext* gHolder = nullptr;
+std::atomic<uint64_t> gAcquisitions{0};
+
+// Releases the token when the inevitable section ends.
+class InevitabilityToken final : public TxResource {
+ public:
+  void on_commit() override { release(); }
+  void on_abort() override {
+    // An inevitable section must never abort: its effects may already
+    // be externally visible.
+    SBD_CHECK_MSG(false, "abort of an inevitable section");
+  }
+
+  static InevitabilityToken& instance() {
+    static InevitabilityToken tok;
+    return tok;
+  }
+
+ private:
+  static void release() {
+    {
+      std::lock_guard<std::mutex> lk(gTokenMu);
+      gHolder = nullptr;
+    }
+    gTokenCv.notify_all();
+  }
+};
+
+}  // namespace
+
+void become_inevitable() {
+  auto& tc = tls_context();
+  SBD_CHECK_MSG(tc.txn.active(), "become_inevitable outside an atomic section");
+  {
+    std::lock_guard<std::mutex> lk(gTokenMu);
+    if (gHolder == &tc) return;  // already inevitable
+  }
+  {
+    Safepoint::SafeScope safe(tc);
+    std::unique_lock<std::mutex> lk(gTokenMu);
+    gTokenCv.wait(lk, [] { return gHolder == nullptr; });
+    gHolder = &tc;
+  }
+  gAcquisitions.fetch_add(1, std::memory_order_relaxed);
+  tc.txn.set_inevitable(true);
+  tc.txn.add_resource(&InevitabilityToken::instance());
+}
+
+bool is_inevitable() {
+  auto* tc = tls_context_if_present();
+  if (!tc) return false;
+  std::lock_guard<std::mutex> lk(gTokenMu);
+  return gHolder == tc;
+}
+
+uint64_t inevitable_acquisitions() {
+  return gAcquisitions.load(std::memory_order_relaxed);
+}
+
+}  // namespace sbd::core

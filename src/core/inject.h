@@ -1,0 +1,50 @@
+// Failure injection: probabilistically abort sections at their split
+// points instead of committing. This drives the complete rollback
+// machinery — heap undo, lock release, I/O buffer discard/replay, DB
+// rollback, deferred-action discard, stack restore — through every
+// substrate, under test control.
+//
+// This is now a thin compatibility wrapper over the fault-plan registry
+// (core/fault.h), which generalizes the same idea to named injection
+// sites across the whole stack. The legacy API maps onto the
+// Site::kSplitAbort site; injection remains deterministic (seeded) and
+// per-process, and inevitable sections remain exempt.
+#pragma once
+
+#include <cstdint>
+
+#include "core/fault.h"
+
+namespace sbd::core {
+
+// Installs a fresh fault plan whose only enabled site is the split
+// abort (rate in [0,1]; 0 disables everything). Counts reset.
+inline void set_abort_injection(double rate, uint64_t seed = 0xfa11) {
+  if (rate > 0)
+    fault::set_plan(fault::single_site(fault::Site::kSplitAbort, rate, seed));
+  else
+    fault::clear_plan();
+}
+
+// Number of aborts injected since the last plan installation.
+inline uint64_t injected_aborts() { return fault::fired(fault::Site::kSplitAbort); }
+
+// Internal: called by split_section; returns true if this split should
+// abort instead of committing.
+inline bool should_inject_abort() { return fault::should_fire(fault::Site::kSplitAbort); }
+
+// RAII guard for tests. Restores the PREVIOUS fault plan (rates, seed,
+// RNG streams, and counters) on destruction instead of zeroing the
+// registry, so nested scopes compose.
+class AbortInjectionScope {
+ public:
+  explicit AbortInjectionScope(double rate, uint64_t seed = 0xfa11)
+      : scope_(fault::single_site(fault::Site::kSplitAbort, rate, seed)) {}
+  AbortInjectionScope(const AbortInjectionScope&) = delete;
+  AbortInjectionScope& operator=(const AbortInjectionScope&) = delete;
+
+ private:
+  fault::PlanScope scope_;
+};
+
+}  // namespace sbd::core

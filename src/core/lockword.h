@@ -1,0 +1,61 @@
+// Bit-level operations on the 64-bit lock structure of Figure 4(b).
+//
+// Layout (LSB to MSB):
+//   bits  0..55  owner bit-set: bit i set <=> transaction id i holds the lock
+//   bit   56     W: the members hold a write lock (then exactly one bit is set)
+//   bit   57     U: an upgrading reader is present (early dueling-upgrade detection)
+//   bits 58..63  queue id: 0 = no waiters, otherwise index into the queue pool
+//
+// All functions are pure and constexpr so both the runtime fast path and
+// the tests can reason about words symbolically.
+#pragma once
+
+#include "core/fwd.h"
+
+namespace sbd::core {
+
+inline constexpr LockWord kMemberMask = (1ULL << kMaxTxns) - 1;  // bits 0..55
+inline constexpr LockWord kWriterBit = 1ULL << 56;
+inline constexpr LockWord kUpgraderBit = 1ULL << 57;
+inline constexpr int kQueueShift = 58;
+inline constexpr LockWord kQueueMask = 0x3FULL << kQueueShift;
+
+// The per-transaction mask: one bit in the owner bit-set.
+constexpr LockWord txn_mask(int txnId) { return 1ULL << txnId; }
+
+constexpr LockWord members(LockWord w) { return w & kMemberMask; }
+constexpr bool has_writer(LockWord w) { return (w & kWriterBit) != 0; }
+constexpr bool has_upgrader(LockWord w) { return (w & kUpgraderBit) != 0; }
+constexpr int queue_id(LockWord w) { return static_cast<int>((w & kQueueMask) >> kQueueShift); }
+constexpr bool is_member(LockWord w, LockWord mask) { return (w & mask) != 0; }
+constexpr bool is_free(LockWord w) { return members(w) == 0; }
+constexpr bool sole_member(LockWord w, LockWord mask) { return members(w) == mask; }
+
+constexpr LockWord with_member(LockWord w, LockWord mask) { return w | mask; }
+constexpr LockWord without_member(LockWord w, LockWord mask) { return w & ~mask; }
+constexpr LockWord with_writer(LockWord w) { return w | kWriterBit; }
+constexpr LockWord without_writer(LockWord w) { return w & ~kWriterBit; }
+constexpr LockWord with_upgrader(LockWord w) { return w | kUpgraderBit; }
+constexpr LockWord without_upgrader(LockWord w) { return w & ~kUpgraderBit; }
+constexpr LockWord with_queue(LockWord w, int qid) {
+  return (w & ~kQueueMask) | (static_cast<LockWord>(qid) << kQueueShift);
+}
+constexpr LockWord without_queue(LockWord w) { return w & ~kQueueMask; }
+
+// A transaction may take a read lock directly (no queue round trip) when
+// nobody writes, no upgrader is pending, and no queue is attached
+// (fairness: once waiters exist, newcomers must line up, paper §3.2).
+constexpr bool read_grabbable(LockWord w, LockWord mask) {
+  return !has_writer(w) && !has_upgrader(w) && queue_id(w) == 0;
+}
+
+// A transaction may take a write lock directly when the lock is free and
+// no queue is attached, or when it is the sole (reading) member — the
+// sole-reader upgrade (no other reader can race it in).
+constexpr bool write_grabbable(LockWord w, LockWord mask) {
+  if (queue_id(w) != 0) return false;
+  if (is_free(w)) return !has_upgrader(w);
+  return sole_member(w, mask) && !has_writer(w);
+}
+
+}  // namespace sbd::core

@@ -1,0 +1,94 @@
+#include "core/queue.h"
+
+#include <bit>
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+#include "core/fault.h"
+
+namespace sbd::core {
+
+namespace {
+// Injected scheduling perturbation: a bounded sleep at a queue
+// transition. Holding the queue mutex across the sleep is intentional —
+// it is exactly the perturbation (a descheduled enqueuer/waker) the
+// fault site models.
+inline void maybe_delay(fault::Site site) {
+  if (const uint64_t ns = fault::fire_delay_nanos(site))
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+}  // namespace
+
+int WaitQueue::position_of(int txnId) const {
+  for (size_t i = 0; i < waiters.size(); i++)
+    if (waiters[i].txnId == txnId) return static_cast<int>(i);
+  return -1;
+}
+
+bool WaitQueue::only_readers_ahead(int pos) const {
+  for (int i = 0; i < pos; i++)
+    if (waiters[static_cast<size_t>(i)].wantWrite || waiters[static_cast<size_t>(i)].upgrader)
+      return false;
+  return true;
+}
+
+void WaitQueue::enqueue(const Waiter& w) {
+  maybe_delay(fault::Site::kQueueEnqueue);
+  if (w.upgrader)
+    waiters.push_front(w);  // upgrading readers enter at the front (§3.2)
+  else
+    waiters.push_back(w);
+}
+
+void WaitQueue::notify_waiters() {
+  maybe_delay(fault::Site::kQueueWakeup);
+  cv.notify_all();
+}
+
+void WaitQueue::remove(int txnId) {
+  for (auto it = waiters.begin(); it != waiters.end(); ++it) {
+    if (it->txnId == txnId) {
+      waiters.erase(it);
+      return;
+    }
+  }
+}
+
+QueuePool::QueuePool() : freeBits_((kNumQueues >= 64) ? ~0ULL : ((1ULL << kNumQueues) - 1)) {}
+
+// Lock-order note: alloc takes poolMu_, releases it, and only then binds
+// the queue under its own mutex; free takes only poolMu_. Callers detach
+// (clear fields) under q.mu *before* calling free, so the two mutexes
+// are never held together and there is no ordering cycle with the
+// enqueue path (q.mu only).
+int QueuePool::alloc(LockWord* word, runtime::ManagedObject* obj) {
+  int qid;
+  {
+    std::lock_guard<std::mutex> lk(poolMu_);
+    SBD_CHECK_MSG(freeBits_ != 0, "wait-queue pool exhausted");
+    const int idx = std::countr_zero(freeBits_);
+    freeBits_ &= ~(1ULL << idx);
+    qid = idx + 1;
+  }
+  WaitQueue& q = queues_[qid];
+  std::lock_guard<std::mutex> qlk(q.mu);
+  SBD_CHECK(q.waiters.empty());
+  q.boundWord = word;
+  q.boundObj = obj;
+  q.detached = false;
+  return qid;
+}
+
+WaitQueue& QueuePool::get(int qid) {
+  SBD_CHECK(qid >= 1 && qid <= kNumQueues);
+  return queues_[qid];
+}
+
+void QueuePool::free(int qid) {
+  std::lock_guard<std::mutex> lk(poolMu_);
+  SBD_CHECK(((freeBits_ >> (qid - 1)) & 1) == 0);
+  freeBits_ |= 1ULL << (qid - 1);
+}
+
+}  // namespace sbd::core

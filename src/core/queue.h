@@ -1,0 +1,86 @@
+// Fair wait queues (paper §3.2 "progress guarantees"): when a
+// transaction cannot acquire a field lock directly it lines up at the
+// end of the lock's queue regardless of read/write — except upgrading
+// readers, which enter at the front to shorten the window for dueling
+// upgrades. The queue id stored in the lock word points into a global
+// pool; the pool size (63) covers the worst case of every concurrently
+// active transaction waiting on a distinct lock.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "core/fwd.h"
+
+namespace sbd::core {
+
+struct Waiter {
+  int txnId = -1;
+  bool wantWrite = false;
+  bool upgrader = false;
+};
+
+class WaitQueue {
+ public:
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Waiter> waiters;
+
+  // Identity checks so a late enqueuer can detect that the queue was
+  // detached from the lock word (and possibly rebound) between its read
+  // of the word and taking mu.
+  LockWord* boundWord = nullptr;
+  runtime::ManagedObject* boundObj = nullptr;  // keeps the instance alive (GC root)
+  bool detached = true;
+
+  // Position of txnId in the queue, or -1.
+  int position_of(int txnId) const;
+  // True if every waiter strictly ahead of position `pos` is a reader.
+  bool only_readers_ahead(int pos) const;
+  void remove(int txnId);
+
+  // Enqueues a waiter (upgraders at the front, §3.2). Pre: mu held.
+  // Applies the fault plan's enqueue delay (fault::Site::kQueueEnqueue)
+  // before publishing the waiter, widening the window in which the lock
+  // word and the queue disagree.
+  void enqueue(const Waiter& w);
+  // Wakes every waiter. Pre: mu held. Applies the fault plan's wakeup
+  // delay (fault::Site::kQueueWakeup) before notifying, so waiters see
+  // stale grants and must re-validate.
+  void notify_waiters();
+};
+
+class QueuePool {
+ public:
+  QueuePool();
+
+  // Allocates a queue and binds it to (word, obj); returns its 1-based
+  // id for the lock word's queue-id field. Never fails given the pool
+  // invariant (waiting txns <= 56 < 63 queues).
+  int alloc(LockWord* word, runtime::ManagedObject* obj);
+
+  WaitQueue& get(int qid);
+
+  // Returns a queue to the free list. Caller must hold q.mu, have set
+  // q.detached, and have cleared the queue id from the lock word.
+  void free(int qid);
+
+  // GC support: enumerate bound objects of live queues. Takes each
+  // queue's own mutex (binding happens under q.mu, not poolMu_).
+  template <typename Fn>
+  void for_each_bound(Fn&& fn) {
+    for (int i = 1; i <= kNumQueues; i++) {
+      std::lock_guard<std::mutex> lk(queues_[i].mu);
+      if (!queues_[i].detached && queues_[i].boundObj) fn(queues_[i].boundObj);
+    }
+  }
+
+ private:
+  std::mutex poolMu_;
+  uint64_t freeBits_;            // bit (i-1) set <=> queue id i free
+  WaitQueue queues_[kNumQueues + 1];  // index 0 unused
+};
+
+}  // namespace sbd::core

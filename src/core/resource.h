@@ -1,0 +1,37 @@
+// Transactional-resource hook: anything with external side effects that
+// participates in an atomic section (I/O wrappers, the embedded DB's
+// connections, deferred thread starts) registers a TxResource with the
+// current transaction. On section end the transaction either commits
+// (apply deferred effects, discard undo data) or aborts (discard
+// deferred effects, rearm replay buffers) every registered resource —
+// the paper's transactional-wrapper protocol (§4.4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/fwd.h"
+
+namespace sbd::core {
+
+class TxResource {
+ public:
+  virtual ~TxResource() = default;
+
+  // Applies deferred irreversible effects; called with the section's
+  // memory locks still held, before they are released.
+  virtual void on_commit() = 0;
+
+  // Discards deferred effects; consumed-input buffers must be rearmed
+  // for replay by the retry.
+  virtual void on_abort() = 0;
+
+  // Bytes currently buffered on behalf of the transaction (Table 8
+  // "Buffers" accounting).
+  virtual size_t buffered_bytes() const { return 0; }
+
+  // Managed objects the resource keeps alive (GC roots).
+  virtual void collect_roots(std::vector<runtime::ManagedObject*>& out) const {}
+};
+
+}  // namespace sbd::core

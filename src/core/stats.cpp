@@ -1,0 +1,10 @@
+#include "core/stats.h"
+
+namespace sbd::core {
+
+GlobalGauges& gauges() {
+  static GlobalGauges g;
+  return g;
+}
+
+}  // namespace sbd::core

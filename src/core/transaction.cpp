@@ -1,0 +1,696 @@
+#include "core/transaction.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "common/check.h"
+#include "common/timing.h"
+#include "core/debug.h"
+#include "core/degrade.h"
+#include "core/fault.h"
+#include "core/inject.h"
+
+namespace sbd::runtime {
+// Defined in runtime/object.cpp: flips a freshly committed instance's
+// lock pointer from nullptr (new in this transaction) to UNALLOC (lock
+// structures not yet allocated) — the init-log commit action of §3.3.
+void publish_new_object(ManagedObject* obj);
+}  // namespace sbd::runtime
+
+namespace sbd::core {
+
+namespace {
+inline std::atomic<LockWord>* as_atomic(LockWord* w) {
+  static_assert(sizeof(std::atomic<LockWord>) == sizeof(LockWord));
+  return reinterpret_cast<std::atomic<LockWord>*>(w);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Transaction
+// ---------------------------------------------------------------------------
+
+void Transaction::add_resource(TxResource* r) {
+  for (TxResource* e : resources_)
+    if (e == r) return;
+  resources_.push_back(r);
+}
+
+size_t Transaction::buffer_bytes() const {
+  size_t sum = 0;
+  for (const TxResource* r : resources_) sum += r->buffered_bytes();
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadContext / tls
+// ---------------------------------------------------------------------------
+
+ThreadContext::ThreadContext() { TxnManager::instance().register_thread(this); }
+
+ThreadContext::~ThreadContext() { TxnManager::instance().unregister_thread(this); }
+
+namespace {
+struct TlsHolder {
+  ThreadContext* tc = nullptr;
+  ~TlsHolder() {
+    delete tc;
+    tc = nullptr;
+  }
+};
+thread_local TlsHolder tTls;
+}  // namespace
+
+ThreadContext& tls_context() {
+  if (!tTls.tc) tTls.tc = new ThreadContext();
+  return *tTls.tc;
+}
+
+ThreadContext* tls_context_if_present() { return tTls.tc; }
+
+// ---------------------------------------------------------------------------
+// TxnManager
+// ---------------------------------------------------------------------------
+
+TxnManager& TxnManager::instance() {
+  static TxnManager mgr;
+  return mgr;
+}
+
+bool TxnManager::request_abort(int victimId, uint64_t expectedSeq) {
+  Transaction* t = lookup(victimId);
+  if (!t || t->start_seq() != expectedSeq) return false;
+  if (!t->is_waiting()) return false;  // only waiting victims can be aborted remotely
+  t->request_abort();
+  // Notify WITHOUT the victim's queue mutex. The caller may already
+  // hold a queue mutex (the deadlock resolver runs inside its own wait
+  // loop), so locking q->mu here can self-deadlock when the victim
+  // waits in the same queue, or ABBA against a concurrent resolver.
+  // A lock-free notify is sound: victims wait with a 200us timed wait
+  // and re-check abort_requested() on every wakeup, so a racing (lost)
+  // notification costs at most one timeout tick.
+  if (WaitQueue* q = t->waiting_in()) q->cv.notify_all();
+  return true;
+}
+
+void TxnManager::register_thread(ThreadContext* tc) {
+  std::lock_guard<std::mutex> lk(registryMu_);
+  tc->uid = uidGen_.fetch_add(1, std::memory_order_relaxed);
+  threads_.push_back(tc);
+}
+
+void TxnManager::unregister_thread(ThreadContext* tc) {
+  std::lock_guard<std::mutex> lk(registryMu_);
+  retired_.add(tc->stats);
+  retiredWork_.push_back(RetiredWork{tc->uid, tc->busyNanosCommitted,
+                                     tc->abortedWorkNanos, tc->blockedNanos});
+  for (auto it = threads_.begin(); it != threads_.end(); ++it) {
+    if (*it == tc) {
+      threads_.erase(it);
+      break;
+    }
+  }
+}
+
+StatsCounters TxnManager::snapshot_stats() {
+  std::lock_guard<std::mutex> lk(registryMu_);
+  StatsCounters sum = retired_;
+  for (ThreadContext* tc : threads_) sum.add(tc->stats);
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// Section control
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void account_section_end(ThreadContext& tc, bool committed) {
+  const uint64_t now = now_nanos();
+  const uint64_t busy = now - tc.sectionStartNanos - tc.sectionBlockedNanos;
+  if (committed)
+    tc.busyNanosCommitted += busy;
+  else
+    tc.abortedWorkNanos += busy;
+  tc.stats.rwSetBytesSum += tc.txn.rw_set_bytes();
+  tc.stats.bufferBytesSum += tc.txn.buffer_bytes();
+  tc.stats.initLogBytesSum += tc.txn.init_log_bytes();
+  tc.stats.txnFootprints++;
+}
+
+void clear_section_state(ThreadContext& tc) {
+  tc.txn.lockRecords_.clear();
+  tc.txn.undoLog_.clear();
+  tc.txn.initLog_.clear();
+  tc.txn.resources_.clear();
+  tc.txn.deferred_.clear();
+  tc.txn.abortRequested_ = false;
+  tc.txn.set_inevitable(false);
+  tc.sectionStartNanos = now_nanos();
+  tc.sectionBlockedNanos = 0;
+}
+
+// How long one id-pool wait slice lasts before the wait is reported as
+// a stall (timeout-and-diagnose, §3.3 pressure) and re-entered.
+constexpr uint64_t kIdAcquireSliceNanos = 250'000'000;
+
+void acquire_txn_id(ThreadContext& tc) {
+  auto& mgr = TxnManager::instance();
+  int id = mgr.id_pool().try_acquire();
+  if (id < 0) {
+    tc.idWaitSinceNanos.store(now_nanos(), std::memory_order_release);
+    Safepoint::SafeScope safe(tc);
+    bool reported = false;
+    for (;;) {
+      id = mgr.id_pool().acquire_for(kIdAcquireSliceNanos);
+      if (id >= 0) break;
+      // Timed out: diagnose, then keep waiting. The pool guarantees
+      // eventual progress (every id holder commits or aborts), so the
+      // loop is the fallback path, not a spin.
+      DebugLog::record(DebugEventKind::kIdPoolStall, -1, -1, nullptr, false);
+      if (!reported) {
+        reported = true;
+        std::fprintf(stderr, "[sbd] txn-id acquire stalled; %s\n",
+                     mgr.id_pool().diagnose().c_str());
+      }
+    }
+    tc.idWaitSinceNanos.store(0, std::memory_order_release);
+  }
+  tc.txn.id_ = id;
+  tc.txn.mask_ = txn_mask(id);
+  mgr.publish(id, &tc.txn);
+}
+
+void release_txn_id(ThreadContext& tc) {
+  auto& mgr = TxnManager::instance();
+  mgr.digest_slot(tc.txn.id()).store(0, std::memory_order_release);
+  mgr.unpublish(tc.txn.id());
+  mgr.id_pool().release(tc.txn.id());
+  tc.txn.id_ = -1;
+  tc.txn.mask_ = 0;
+}
+
+// Takes the section checkpoint; on an abort-restore arrival it resets
+// the per-section bookkeeping so the retry starts clean.
+void checkpoint_section(ThreadContext& tc) {
+  tc.ckCanSplitDepth = tc.canSplitDepth;
+  tc.ckNoSplitDepth = tc.noSplitDepth;
+  tc.ckAllowSplitArmed = tc.allowSplitArmed;
+  if (tc.engine.take(tc.sectionStart) == CheckpointResult::kRestored) {
+    // Re-arrived after abort_and_restart: logs were already cleared and
+    // locks released by the abort path; restore the off-stack scope
+    // depths to their checkpoint-time values and reset timing.
+    tc.canSplitDepth = tc.ckCanSplitDepth;
+    tc.noSplitDepth = tc.ckNoSplitDepth;
+    tc.allowSplitArmed = tc.ckAllowSplitArmed;
+    tc.txn.abortRequested_ = false;
+    tc.sectionStartNanos = now_nanos();
+    tc.sectionBlockedNanos = 0;
+  }
+}
+
+}  // namespace
+
+void begin_initial_section(ThreadContext& tc) {
+  SBD_CHECK_MSG(!tc.txn.active(), "nested atomic sections are not allowed");
+  SBD_CHECK_MSG(tc.engine.has_anchor(), "SBD thread entry must set the stack anchor");
+  acquire_txn_id(tc);
+  tc.txn.startSeq_ = TxnManager::instance().next_seq();
+  clear_section_state(tc);
+  tc.inSbd = true;
+  checkpoint_section(tc);
+}
+
+void commit_section(ThreadContext& tc) {
+  SBD_CHECK(tc.txn.active());
+  // 0. Sample the transaction footprint BEFORE resources flush their
+  //    buffers (Table 8 accounting measures the section's peak state).
+  account_section_end(tc, /*committed=*/true);
+  // 1. Apply deferred external effects while memory locks are held, so a
+  //    successor section acquiring our locks observes them (§3.4).
+  for (TxResource* r : tc.txn.resources_) r->on_commit();
+  // 2. Publish new instances: locks pointer null -> UNALLOC (§3.3).
+  for (runtime::ManagedObject* o : tc.txn.initLog_) runtime::publish_new_object(o);
+  // 3. Release all field/element locks and wake waiters.
+  LockEngine::release_all(tc);
+  TxnManager::instance().digest_slot(tc.txn.id()).store(0, std::memory_order_release);
+  // 4. Run deferred actions (thread starts, notifies) after locks are
+  //    free, so the released condition is observable (§3.5).
+  auto deferred = std::move(tc.txn.deferred_);
+  tc.txn.deferred_.clear();
+  for (auto& action : deferred) action();
+  tc.stats.commits++;
+  tc.retrySleepNanos = 0;
+  // 5. Graceful degradation: the section made it through — reset the
+  //    retry budget and give up the serialization token if escalated.
+  degrade::on_commit(tc);
+}
+
+void split_section(ThreadContext& tc) {
+  // Failure injection (core/inject.h): abort instead of committing.
+  if (!tc.txn.inevitable() && should_inject_abort()) abort_and_restart(tc);
+  commit_section(tc);
+  Safepoint::poll(tc);
+  tc.txn.startSeq_ = TxnManager::instance().next_seq();
+  clear_section_state(tc);
+  checkpoint_section(tc);
+}
+
+void commit_and_release_id(ThreadContext& tc) {
+  commit_section(tc);
+  release_txn_id(tc);
+  Safepoint::poll(tc);
+}
+
+void reacquire_id_and_checkpoint(ThreadContext& tc) {
+  acquire_txn_id(tc);
+  tc.txn.startSeq_ = TxnManager::instance().next_seq();
+  clear_section_state(tc);
+  checkpoint_section(tc);
+}
+
+void end_final_section(ThreadContext& tc) {
+  commit_section(tc);
+  release_txn_id(tc);
+  clear_section_state(tc);
+  tc.inSbd = false;
+}
+
+void abort_and_restart(ThreadContext& tc) {
+  SBD_CHECK(tc.txn.active());
+  account_section_end(tc, /*committed=*/false);  // sample before buffers drop
+  // 1. Discard deferred external effects and rearm replay buffers.
+  for (auto it = tc.txn.resources_.rbegin(); it != tc.txn.resources_.rend(); ++it)
+    (*it)->on_abort();
+  // 2. Eager version management: restore old values, newest first.
+  for (auto it = tc.txn.undoLog_.rbegin(); it != tc.txn.undoLog_.rend(); ++it)
+    *it->slot = it->oldValue;
+  // 3. Release locks; instances in the init log become garbage.
+  LockEngine::release_all(tc);
+  TxnManager::instance().digest_slot(tc.txn.id()).store(0, std::memory_order_release);
+  clear_section_state(tc);
+  tc.stats.aborts++;
+  DebugLog::record(DebugEventKind::kAborted, tc.txn.id(), -1, nullptr, false);
+  // 4. Graceful degradation: over the retry budget this blocks for the
+  //    global serialization token (we hold no locks here) so the retry
+  //    runs serialized instead of feeding the abort storm.
+  degrade::on_abort(tc);
+  if (tc.holdsSerialToken) {
+    // Serialized retries don't race each other; skip the backoff.
+    Safepoint::poll(tc);
+    tc.engine.restore(tc.sectionStart);
+  }
+  // 5. Back off a little so the conflict winner can finish.
+  if (tc.retrySleepNanos == 0)
+    tc.retrySleepNanos = 20'000;
+  else if (tc.retrySleepNanos < 1'000'000)
+    tc.retrySleepNanos *= 2;
+  {
+    Safepoint::SafeScope safe(tc);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(tc.retrySleepNanos));
+  }
+  Safepoint::poll(tc);
+  // 5. Rebuild the stack and re-execute from the section start.
+  tc.engine.restore(tc.sectionStart);
+}
+
+// ---------------------------------------------------------------------------
+// LockEngine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Computes and publishes this transaction's Dreadlocks digest while it
+// waits on `q` for `word`; resolves any detected cycle by aborting the
+// youngest waiting member. Returns true if the caller itself must abort.
+// Pre: q.mu held by caller.
+bool update_digest_and_resolve(ThreadContext& tc, WaitQueue& q, LockWord w) {
+  auto& mgr = TxnManager::instance();
+  const int myId = tc.txn.id();
+  const LockWord myBit = tc.txn.mask();
+
+  uint64_t direct = members(w) & ~myBit;
+  for (const Waiter& wt : q.waiters) {
+    if (wt.txnId == myId) break;  // only waiters ahead of us block us
+    direct |= 1ULL << wt.txnId;
+  }
+  uint64_t digest = direct;
+  uint64_t scan = direct;
+  while (scan) {
+    const int d = std::countr_zero(scan);
+    scan &= scan - 1;
+    digest |= mgr.digest_slot(d).load(std::memory_order_acquire);
+  }
+  mgr.digest_slot(myId).store(digest, std::memory_order_release);
+  if ((digest & myBit) == 0) return false;  // no cycle through us
+
+  // Cycle: abort the youngest *waiting* member (deterministic policy —
+  // the oldest transaction always makes progress, §3.2).
+  tc.stats.deadlocksResolved++;
+  DebugLog::record(DebugEventKind::kDeadlock, myId, -1, nullptr, false);
+  int victim = -1;
+  uint64_t victimSeq = 0;
+  if (!tc.txn.inevitable()) {
+    victim = myId;
+    victimSeq = tc.txn.start_seq();
+  }
+  uint64_t cand = digest & ~myBit;
+  while (cand) {
+    const int d = std::countr_zero(cand);
+    cand &= cand - 1;
+    Transaction* t = mgr.lookup(d);
+    if (!t || !t->is_waiting()) continue;
+    if (t->inevitable()) continue;  // inevitable sections are never victims
+    if (victim < 0 || t->start_seq() > victimSeq) {
+      victimSeq = t->start_seq();
+      victim = d;
+    }
+  }
+  if (victim < 0) return false;  // all waiters inevitable (transient view)
+  if (victim == myId) return true;
+  mgr.request_abort(victim, victimSeq);
+  return false;
+}
+
+// Detaches q from its lock word if it has no waiters. Pre: q.mu held.
+void maybe_detach(WaitQueue& q, int qid, std::atomic<LockWord>* aw) {
+  if (!q.waiters.empty() || q.detached) return;
+  q.detached = true;
+  q.boundWord = nullptr;
+  q.boundObj = nullptr;
+  LockWord w = aw->load(std::memory_order_acquire);
+  while (queue_id(w) == qid) {
+    if (aw->compare_exchange_weak(w, without_queue(w), std::memory_order_acq_rel)) break;
+  }
+  TxnManager::instance().queue_pool().free(qid);
+}
+
+// The contended path: line up in the lock's fair queue and wait until
+// grantable. `upgrader` implies the caller already holds a read lock and
+// set the U bit. Returns with the lock held (recorded by the caller for
+// upgrades, here otherwise) or aborts the transaction.
+void slow_acquire(ThreadContext& tc, runtime::ManagedObject* obj, LockWord* word,
+                  bool wantWrite, bool upgrader) {
+  auto& mgr = TxnManager::instance();
+  auto* aw = as_atomic(word);
+  const int myId = tc.txn.id();
+  const LockWord myBit = tc.txn.mask();
+  tc.stats.contendedAcquires++;
+  DebugLog::record(DebugEventKind::kBlocked, myId, -1, word, wantWrite || upgrader);
+  const uint64_t blockStart = now_nanos();
+  tc.lockWaitSinceNanos.store(blockStart, std::memory_order_release);
+
+  auto finish_blocked_accounting = [&] {
+    tc.lockWaitSinceNanos.store(0, std::memory_order_release);
+    const uint64_t dt = now_nanos() - blockStart;
+    tc.blockedNanos += dt;
+    tc.sectionBlockedNanos += dt;
+    DebugLog::record(DebugEventKind::kGranted, myId, -1, word, wantWrite || upgrader);
+  };
+
+  for (;;) {  // (re)attach to the word's queue
+    LockWord w = aw->load(std::memory_order_acquire);
+    // The lock may have become free in the meantime.
+    if (upgrader) {
+      if (sole_member(w, myBit) && !has_writer(w)) {
+        LockWord target = without_upgrader(with_writer(w));
+        if (aw->compare_exchange_weak(w, target, std::memory_order_acq_rel)) {
+          finish_blocked_accounting();
+          return;
+        }
+        tc.stats.casFailures++;
+        continue;
+      }
+    } else if (!wantWrite && read_grabbable(w, myBit)) {
+      if (aw->compare_exchange_weak(w, with_member(w, myBit), std::memory_order_acq_rel)) {
+        tc.txn.record_lock(obj, word, false);
+        tc.stats.acqRls++;
+        finish_blocked_accounting();
+        return;
+      }
+      tc.stats.casFailures++;
+      continue;
+    } else if (wantWrite && is_free(w) && write_grabbable(w, myBit)) {
+      if (aw->compare_exchange_weak(w, with_writer(with_member(w, myBit)),
+                                    std::memory_order_acq_rel)) {
+        tc.txn.record_lock(obj, word, true);
+        tc.stats.acqRls++;
+        finish_blocked_accounting();
+        return;
+      }
+      tc.stats.casFailures++;
+      continue;
+    }
+
+    int qid = queue_id(w);
+    if (qid == 0) {
+      qid = mgr.queue_pool().alloc(word, obj);
+      bool attached = false;
+      LockWord cur = aw->load(std::memory_order_acquire);
+      while (queue_id(cur) == 0) {
+        if (aw->compare_exchange_weak(cur, with_queue(cur, qid),
+                                      std::memory_order_acq_rel)) {
+          attached = true;
+          break;
+        }
+      }
+      if (!attached) {
+        WaitQueue& q = mgr.queue_pool().get(qid);
+        std::lock_guard<std::mutex> lk(q.mu);
+        q.detached = true;
+        q.boundWord = nullptr;
+        q.boundObj = nullptr;
+        mgr.queue_pool().free(qid);
+        continue;  // someone else attached a queue; join theirs
+      }
+    }
+
+    WaitQueue& q = mgr.queue_pool().get(qid);
+    std::unique_lock<std::mutex> lk(q.mu);
+    if (q.detached || q.boundWord != word ||
+        queue_id(aw->load(std::memory_order_acquire)) != qid)
+      continue;  // queue was detached/rebound under us; retry
+
+    Waiter me{myId, wantWrite || upgrader, upgrader};
+    q.enqueue(me);
+    tc.waitingQueue = &q;
+    tc.waitingObj = obj;
+    tc.txn.set_waiting(&q);
+
+    auto leave_queue = [&] {
+      q.remove(myId);
+      // Clear the published digest: a stale digest would make other
+      // transactions that later wait on us see phantom cycles.
+      mgr.digest_slot(myId).store(0, std::memory_order_release);
+      tc.txn.set_waiting(nullptr);
+      tc.waitingQueue = nullptr;
+      tc.waitingObj = nullptr;
+      if (q.waiters.empty())
+        maybe_detach(q, qid, aw);
+      else
+        q.notify_waiters();
+    };
+
+    for (;;) {  // wait loop, q.mu held
+      if (tc.txn.abort_requested()) {
+        leave_queue();
+        lk.unlock();
+        finish_blocked_accounting();
+        abort_and_restart(tc);
+      }
+      LockWord w2 = aw->load(std::memory_order_acquire);
+      const int pos = q.position_of(myId);
+      SBD_DCHECK(pos >= 0);
+      bool granted = false;
+      bool attempted = false;
+      if (upgrader) {
+        if (sole_member(w2, myBit) && !has_writer(w2)) {
+          attempted = true;
+          LockWord target = without_upgrader(with_writer(w2));
+          granted = aw->compare_exchange_strong(w2, target, std::memory_order_acq_rel);
+        }
+      } else if (wantWrite) {
+        if (pos == 0 && is_free(w2) && !has_upgrader(w2)) {
+          attempted = true;
+          LockWord target = with_writer(with_member(w2, myBit));
+          granted = aw->compare_exchange_strong(w2, target, std::memory_order_acq_rel);
+        }
+      } else {
+        if (q.only_readers_ahead(pos) && !has_writer(w2) && !has_upgrader(w2)) {
+          attempted = true;
+          LockWord target = with_member(w2, myBit);
+          granted = aw->compare_exchange_strong(w2, target, std::memory_order_acq_rel);
+        }
+      }
+      if (granted) {
+        leave_queue();
+        lk.unlock();
+        if (!upgrader) {
+          tc.txn.record_lock(obj, word, wantWrite);
+          tc.stats.acqRls++;
+        }
+        finish_blocked_accounting();
+        return;
+      }
+      if (attempted) tc.stats.casFailures++;
+      if (update_digest_and_resolve(tc, q, w2)) {
+        leave_queue();
+        lk.unlock();
+        finish_blocked_accounting();
+        abort_and_restart(tc);
+      }
+      {
+        // The SafeScope destructor blocks for the whole stop-the-world
+        // when a GC is in flight, and the collector's root scan takes
+        // every queue mutex (QueuePool::for_each_bound). wait_for
+        // reacquires q.mu on wakeup, so the mutex must be dropped
+        // before the scope closes or the collector deadlocks against
+        // us. Unlocking is safe: we are still enqueued, and a queue
+        // with waiters can neither detach nor rebind.
+        Safepoint::SafeScope safe(tc);
+        q.cv.wait_for(lk, std::chrono::microseconds(200));
+        lk.unlock();
+      }
+      lk.lock();  // loop re-reads all queue state under the lock
+    }
+  }
+}
+
+}  // namespace
+
+void LockEngine::acquire_read(ThreadContext& tc, runtime::ManagedObject* obj,
+                              LockWord* word) {
+  auto* aw = as_atomic(word);
+  // Fault plan: pretend one CAS lost a race (at most once per call, so
+  // rate 1.0 still terminates). Exercises the retry edge of the fast path.
+  bool injectCasFail = fault::should_fire(fault::Site::kLockCas);
+  for (;;) {
+    LockWord w = aw->load(std::memory_order_acquire);
+    if (is_member(w, tc.txn.mask())) return;  // owned
+    if (read_grabbable(w, tc.txn.mask())) {
+      if (injectCasFail) {
+        injectCasFail = false;
+        tc.stats.casFailures++;
+        continue;
+      }
+      if (aw->compare_exchange_weak(w, with_member(w, tc.txn.mask()),
+                                    std::memory_order_acq_rel)) {
+        tc.txn.record_lock(obj, word, false);
+        tc.stats.acqRls++;
+        return;
+      }
+      tc.stats.casFailures++;
+      continue;
+    }
+    slow_acquire(tc, obj, word, /*wantWrite=*/false, /*upgrader=*/false);
+    return;
+  }
+}
+
+void LockEngine::acquire_write(ThreadContext& tc, runtime::ManagedObject* obj,
+                               LockWord* word) {
+  auto* aw = as_atomic(word);
+  const LockWord myBit = tc.txn.mask();
+  // See acquire_read: one injected CAS failure per call at most.
+  bool injectCasFail = fault::should_fire(fault::Site::kLockCas);
+  for (;;) {
+    LockWord w = aw->load(std::memory_order_acquire);
+    if (is_member(w, myBit)) {
+      if (has_writer(w)) return;  // already the writer
+      // Upgrade a held read lock.
+      for (;;) {
+        if (sole_member(w, myBit)) {
+          if (aw->compare_exchange_weak(w, with_writer(w), std::memory_order_acq_rel)) {
+            // Flip the existing record so release/GC accounting sees a write.
+            for (auto it = tc.txn.lockRecords_.rbegin(); it != tc.txn.lockRecords_.rend();
+                 ++it) {
+              if (it->word == word) {
+                it->write = true;
+                break;
+              }
+            }
+            return;
+          }
+          tc.stats.casFailures++;
+          w = aw->load(std::memory_order_acquire);
+          continue;
+        }
+        if (has_upgrader(w)) {
+          // Dueling write-upgrade (§3.2): two readers both want to
+          // write. The U holder wins; we abort and retry. An inevitable
+          // section cannot lose a duel — it must order its accesses so
+          // writes come first (documented constraint).
+          SBD_CHECK_MSG(!tc.txn.inevitable(),
+                        "inevitable section lost a dueling write-upgrade");
+          abort_and_restart(tc);
+        }
+        if (aw->compare_exchange_weak(w, with_upgrader(w), std::memory_order_acq_rel)) {
+          for (auto it = tc.txn.lockRecords_.rbegin(); it != tc.txn.lockRecords_.rend();
+               ++it) {
+            if (it->word == word) {
+              it->setUpgrader = true;
+              break;
+            }
+          }
+          slow_acquire(tc, obj, word, /*wantWrite=*/true, /*upgrader=*/true);
+          // Upgrade succeeded: U is cleared, we hold the write lock.
+          for (auto it = tc.txn.lockRecords_.rbegin(); it != tc.txn.lockRecords_.rend();
+               ++it) {
+            if (it->word == word) {
+              it->write = true;
+              it->setUpgrader = false;
+              break;
+            }
+          }
+          return;
+        }
+        tc.stats.casFailures++;
+        w = aw->load(std::memory_order_acquire);
+      }
+    }
+    if (write_grabbable(w, myBit) && is_free(w)) {
+      if (injectCasFail) {
+        injectCasFail = false;
+        tc.stats.casFailures++;
+        continue;
+      }
+      if (aw->compare_exchange_weak(w, with_writer(with_member(w, myBit)),
+                                    std::memory_order_acq_rel)) {
+        tc.txn.record_lock(obj, word, true);
+        tc.stats.acqRls++;
+        return;
+      }
+      tc.stats.casFailures++;
+      continue;
+    }
+    slow_acquire(tc, obj, word, /*wantWrite=*/true, /*upgrader=*/false);
+    return;
+  }
+}
+
+void LockEngine::release_all(ThreadContext& tc) {
+  const LockWord myBit = tc.txn.mask();
+  for (auto it = tc.txn.lockRecords_.rbegin(); it != tc.txn.lockRecords_.rend(); ++it) {
+    auto* aw = as_atomic(it->word);
+    LockWord w = aw->load(std::memory_order_acquire);
+    LockWord target;
+    do {
+      target = without_member(w, myBit);
+      if (sole_member(w, myBit)) target = without_writer(target);
+      if (it->setUpgrader) target = without_upgrader(target);
+    } while (!aw->compare_exchange_weak(w, target, std::memory_order_acq_rel));
+    wake_queue(target);
+  }
+}
+
+void LockEngine::wake_queue(LockWord w) {
+  const int qid = queue_id(w);
+  if (qid == 0) return;
+  WaitQueue& q = TxnManager::instance().queue_pool().get(qid);
+  std::lock_guard<std::mutex> lk(q.mu);
+  q.notify_waiters();
+}
+
+}  // namespace sbd::core

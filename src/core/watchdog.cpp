@@ -1,0 +1,186 @@
+#include "core/watchdog.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/timing.h"
+#include "core/debug.h"
+#include "core/queue.h"
+#include "core/transaction.h"
+
+namespace sbd::core {
+
+namespace {
+
+std::mutex gCtlMu;  // serializes start/stop
+std::thread gThread;
+Watchdog::Options gOpts;
+
+std::mutex gSleepMu;
+std::condition_variable gSleepCv;
+bool gRun = false;  // under gSleepMu
+
+std::atomic<uint64_t> gStalls{0};
+std::atomic<uint64_t> gVictims{0};
+
+// One record per (thread, wait episode): a new wait start timestamp
+// means a new episode, reported (and possibly aborted) at most once.
+struct StallRec {
+  uint64_t waitSince = 0;
+  bool reported = false;
+  bool abortSent = false;
+};
+
+// Everything the act phase needs, copied out of the ThreadContext while
+// the registry lock is held. No ThreadContext pointer survives the scan:
+// the thread may unregister (and free its context) the moment the lock
+// drops. The WaitQueue pointer is safe — queues live in a static pool —
+// but its binding is revalidated under q->mu before use.
+struct WaitSnap {
+  uint64_t uid;
+  uint64_t since;  // episode start (nonzero)
+  bool idPool;
+  int txnId;
+  uint64_t startSeq;
+  uint64_t consecAborts;
+  WaitQueue* q;
+};
+
+// Examines one stalled wait. Runs WITHOUT the thread-registry lock; the
+// cross-thread values in `s` are diagnostic-only racy copies, and the
+// abort fallback goes through TxnManager::request_abort, which
+// re-validates the victim by (id, seq).
+void check_wait(const WaitSnap& s, uint64_t now, std::map<uint64_t, StallRec>& recs) {
+  if (now <= s.since) return;
+  const uint64_t waited = now - s.since;
+  if (waited < gOpts.stallThresholdNanos) return;
+  StallRec& rec = recs[s.uid];
+  if (rec.waitSince != s.since) rec = StallRec{s.since, false, false};
+
+  if (!rec.reported) {
+    rec.reported = true;
+    gStalls.fetch_add(1, std::memory_order_relaxed);
+    const void* lockAddr = nullptr;
+    size_t queueDepth = 0;
+    if (!s.idPool && s.q) {
+      std::lock_guard<std::mutex> lk(s.q->mu);
+      lockAddr = s.q->boundWord;
+      queueDepth = s.q->waiters.size();
+    }
+    DebugLog::record(s.idPool ? DebugEventKind::kIdPoolStall
+                              : DebugEventKind::kWatchdogStall,
+                     s.txnId, -1, lockAddr, false);
+    if (gOpts.logToStderr) {
+      if (s.idPool) {
+        std::fprintf(stderr, "[sbd-watchdog] thread %llu blocked %.1f ms for a txn id; %s\n",
+                     static_cast<unsigned long long>(s.uid), waited / 1e6,
+                     TxnManager::instance().id_pool().diagnose().c_str());
+      } else {
+        std::fprintf(stderr,
+                     "[sbd-watchdog] txn %d blocked %.1f ms on lock %p (queue depth %zu, "
+                     "%llu consecutive aborts)\n",
+                     s.txnId, waited / 1e6, lockAddr, queueDepth,
+                     static_cast<unsigned long long>(s.consecAborts));
+      }
+    }
+  }
+
+  // Abort-victim fallback: only lock waits — an id-pool waiter has no
+  // active section to abort, it is *between* sections.
+  if (!s.idPool && gOpts.abortVictimAfterNanos != 0 && !rec.abortSent &&
+      waited >= gOpts.abortVictimAfterNanos) {
+    rec.abortSent = true;
+    if (s.txnId >= 0 && TxnManager::instance().request_abort(s.txnId, s.startSeq)) {
+      gVictims.fetch_add(1, std::memory_order_relaxed);
+      if (gOpts.logToStderr)
+        std::fprintf(stderr, "[sbd-watchdog] aborting stalled txn %d (timeout fallback)\n",
+                     s.txnId);
+    }
+  }
+}
+
+void run() {
+  std::map<uint64_t, StallRec> lockRecs, idRecs;
+  std::vector<WaitSnap> snaps;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(gSleepMu);
+      gSleepCv.wait_for(lk, std::chrono::nanoseconds(gOpts.pollIntervalNanos),
+                        [] { return !gRun; });
+      if (!gRun) return;
+    }
+    const uint64_t now = now_nanos();
+    std::set<uint64_t> live;
+    snaps.clear();
+    // Scan phase: the registry lock is held, so ONLY lock-free reads are
+    // allowed here. In particular q->mu must not be taken: a worker can
+    // hold its queue mutex while it waits out a stop-the-world
+    // (SafeScope destructor), the GC's root scan needs the registry
+    // lock, and blocking on q->mu from inside the registry would close
+    // that chain into a three-party deadlock.
+    TxnManager::instance().for_each_thread([&](ThreadContext* tc) {
+      live.insert(tc->uid);
+      const uint64_t ls = tc->lockWaitSinceNanos.load(std::memory_order_acquire);
+      const uint64_t is = tc->idWaitSinceNanos.load(std::memory_order_acquire);
+      if (ls != 0)
+        snaps.push_back({tc->uid, ls, /*idPool=*/false, tc->txn.id_, tc->txn.startSeq_,
+                         tc->consecutiveAborts.load(std::memory_order_relaxed),
+                         tc->txn.waiting_in()});
+      if (is != 0)
+        snaps.push_back({tc->uid, is, /*idPool=*/true, -1, 0, 0, nullptr});
+    });
+    // Act phase: registry lock released; blocking on q->mu is now safe.
+    for (const WaitSnap& s : snaps)
+      check_wait(s, now, s.idPool ? idRecs : lockRecs);
+    // Prune records of threads that have exited.
+    for (auto* recs : {&lockRecs, &idRecs})
+      for (auto it = recs->begin(); it != recs->end();)
+        it = live.count(it->first) ? std::next(it) : recs->erase(it);
+  }
+}
+
+}  // namespace
+
+void Watchdog::start(const Options& opts) {
+  std::lock_guard<std::mutex> ctl(gCtlMu);
+  if (gThread.joinable()) return;
+  gOpts = opts;
+  {
+    std::lock_guard<std::mutex> lk(gSleepMu);
+    gRun = true;
+  }
+  gThread = std::thread(run);
+}
+
+void Watchdog::stop() {
+  std::lock_guard<std::mutex> ctl(gCtlMu);
+  if (!gThread.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lk(gSleepMu);
+    gRun = false;
+  }
+  gSleepCv.notify_all();
+  gThread.join();
+}
+
+bool Watchdog::running() {
+  std::lock_guard<std::mutex> ctl(gCtlMu);
+  return gThread.joinable();
+}
+
+uint64_t Watchdog::stalls_detected() {
+  return gStalls.load(std::memory_order_relaxed);
+}
+
+uint64_t Watchdog::victims_aborted() {
+  return gVictims.load(std::memory_order_relaxed);
+}
+
+}  // namespace sbd::core

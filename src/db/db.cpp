@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "common/check.h"
+#include "core/fault.h"
 #include "db/sql.h"
 
 namespace sbd::db {
@@ -78,6 +80,9 @@ void Database::lock_row(Connection& c, const std::string& table, int64_t pk) {
   // NB: rowLocks_ is an unordered_map; references do not survive the cv
   // wait (other threads insert entries), so every iteration re-looks-up.
   if (rowLocks_[key].owner == c.txnId_) return;  // already ours
+  // Fault plan: a spurious lock-wait timeout, indistinguishable from a
+  // real one — drives the caller's deadlock-retry path.
+  if (fault::should_fire(fault::Site::kDbLockTimeout)) throw DbDeadlock();
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(lockTimeoutMs_);
   rowLocks_[key].waiters++;
@@ -101,6 +106,8 @@ void Database::lock_table(Connection& c, const std::string& table, bool exclusiv
   // Re-entrancy.
   if (ts.xOwner == c.txnId_) return;
   if (!exclusive && ts.sOwners.count(c.txnId_)) return;
+  // Fault plan: spurious lock-wait timeout (see lock_row).
+  if (fault::should_fire(fault::Site::kDbLockTimeout)) throw DbDeadlock();
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(lockTimeoutMs_);
   ts.waiters++;
@@ -359,6 +366,16 @@ void Connection::rollback() { end_txn(false); }
 
 void Connection::end_txn(bool commit) {
   SBD_CHECK_MSG(inTxn_, "no open DB transaction");
+  if (commit) {
+    // Fault plan: transient commit-fence faults (a stalled journal
+    // flush). A real engine retries the fence until it clears; commit
+    // never fails upward — the STM layer has already decided to commit.
+    for (int transient = 0; transient < 3; transient++) {
+      const uint64_t ns = fault::fire_delay_nanos(fault::Site::kDbCommit);
+      if (ns == 0) break;
+      std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    }
+  }
   if (!commit) {
     std::lock_guard<std::mutex> lk(db_.mu_);
     for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {

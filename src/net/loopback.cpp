@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "core/fault.h"
 
 namespace sbd::net {
 
@@ -142,6 +143,16 @@ Socket Network::connect(int port) {
   // drained deques — the moral equivalent of kernel socket buffers.
   auto* c2s = new Pipe();
   auto* s2c = new Pipe();
+  // Fault plan: connection reset by peer. The client gets a socket that
+  // is already dead — reads see EOF, writes are dropped — and the
+  // server never learns the connection existed. Client code must cope
+  // with the short read, exactly like a real RST.
+  if (fault::should_fire(fault::Site::kSocketReset)) {
+    Socket client(s2c, c2s);
+    s2c->close_write();
+    c2s->close_read();
+    return client;
+  }
   Socket client(s2c, c2s);
   Socket server(c2s, s2c);
   {

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "core/fault.h"
 #include "core/stats.h"
 #include "core/transaction.h"
 
@@ -150,7 +151,10 @@ ManagedObject* Heap::alloc_raw(ClassInfo* cls, size_t size, bool bornEscaped,
     std::unique_lock<std::mutex> lk(heapMu_);
     allocatedSinceGc_ += size;
     stats_.allocatedBytes += size;
-    const bool wantGc = allocatedSinceGc_ >= gcThreshold_;
+    // Fault plan: force a full stop-the-world collection at this
+    // allocation safepoint, regardless of the threshold.
+    const bool wantGc = allocatedSinceGc_ >= gcThreshold_ ||
+                        fault::should_fire(fault::Site::kGcSafepoint);
     std::byte* p = allocate_block(size);
     std::memset(p, 0, size);
     o = reinterpret_cast<ManagedObject*>(p);

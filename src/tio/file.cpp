@@ -1,8 +1,16 @@
 #include "tio/file.h"
 
 #include "common/check.h"
+#include "core/fault.h"
 
 namespace sbd::tio {
+
+namespace {
+// Bound on injected transient (EINTR-style) errors per operation, so a
+// fault plan with rate 1.0 still terminates: real kernels also don't
+// return EINTR forever.
+constexpr int kMaxTransientErrors = 3;
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // TxFileWriter
@@ -32,7 +40,26 @@ void TxFileWriter::write(const void* data, size_t n) {
 void TxFileWriter::on_commit() {
   if (buf_.empty()) return;
   std::lock_guard<std::mutex> lk(fileMu_);
-  std::fwrite(buf_.bytes().data(), 1, buf_.size(), fp_);
+  // Commit must not fail (the STM has already decided to commit), so
+  // injected faults here are the *recoverable* kinds a real write loop
+  // faces: transient errors (retried) and short writes (continued).
+  size_t off = 0;
+  size_t left = buf_.size();
+  int transient = 0;
+  while (left > 0) {
+    if (transient < kMaxTransientErrors &&
+        fault::should_fire(fault::Site::kFileError)) {
+      transient++;
+      continue;  // EINTR: nothing written, try again
+    }
+    size_t chunk = left;
+    if (left > 1 && fault::should_fire(fault::Site::kFileShortWrite))
+      chunk = 1 + left / 2;  // the kernel took only part of the buffer
+    const size_t wrote = std::fwrite(buf_.bytes().data() + off, 1, chunk, fp_);
+    SBD_CHECK_MSG(wrote == chunk, "TxFileWriter: write failed at commit");
+    off += wrote;
+    left -= wrote;
+  }
   std::fflush(fp_);
   committed_ += buf_.size();
   buf_.clear();
@@ -58,6 +85,10 @@ size_t TxFileReader::read(void* out, size_t n) {
   size_t got = 0;
   if (inTxn) got = replay_.serve(out, n);  // replayed bytes first
   if (got < n) {
+    // Fault plan: transient read errors, retried like EINTR.
+    for (int transient = 0; transient < kMaxTransientErrors &&
+                            fault::should_fire(fault::Site::kFileError);)
+      transient++;
     const size_t fresh =
         std::fread(static_cast<uint8_t*>(out) + got, 1, n - got, fp_);
     if (inTxn && fresh)

@@ -1,0 +1,197 @@
+// Tests for the stack checkpoint engine — the abort/retry substrate.
+//
+// Contract: set_anchor_at() covers frames *deeper* than the pad owner;
+// locals of the very frame that sets the anchor are not guaranteed to
+// be restored. All scenarios therefore run in a callee frame via
+// run_below_anchor().
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+
+namespace sbd::core {
+namespace {
+
+__attribute__((noinline)) void run_below_anchor(CheckpointEngine& e,
+                                                const std::function<void()>& fn) {
+  volatile char pad[1024];
+  pad[0] = 0;
+  pad[1023] = 0;
+  e.set_anchor_at(const_cast<char*>(&pad[512]));
+  fn();
+  e.clear_anchor();
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  CheckpointEngine engine;
+  Checkpoint cp;
+};
+
+TEST_F(CheckpointTest, TakeReturnsTaken) {
+  run_below_anchor(engine, [&] {
+    EXPECT_EQ(engine.take(cp), CheckpointResult::kTaken);
+    EXPECT_TRUE(cp.valid());
+    EXPECT_GT(cp.saved_bytes(), 0u);
+  });
+}
+
+TEST_F(CheckpointTest, RestoreReexecutesFromCheckpoint) {
+  static int globalPasses;  // survives restores (not on the stack)
+  globalPasses = 0;
+  run_below_anchor(engine, [&] {
+    auto r = engine.take(cp);
+    globalPasses++;
+    if (r == CheckpointResult::kTaken) {
+      EXPECT_EQ(globalPasses, 1);
+      engine.restore(cp);  // never returns; jumps back to take()
+      FAIL() << "restore returned";
+    }
+    EXPECT_EQ(r, CheckpointResult::kRestored);
+    EXPECT_EQ(globalPasses, 2);
+  });
+}
+
+TEST_F(CheckpointTest, StackLocalsAreRestored) {
+  static int arrivals;
+  arrivals = 0;
+  run_below_anchor(engine, [&] {
+    volatile int counter = 5;  // stack local: must be rolled back
+    auto r = engine.take(cp);
+    arrivals++;
+    if (r == CheckpointResult::kTaken) {
+      EXPECT_EQ(counter, 5);
+      counter = 99;  // mutate after the checkpoint
+      engine.restore(cp);
+      FAIL();
+    }
+    EXPECT_EQ(arrivals, 2);
+    EXPECT_EQ(counter, 5);
+  });
+}
+
+TEST_F(CheckpointTest, ArrayOnStackIsRestored) {
+  static int arrivals;
+  arrivals = 0;
+  run_below_anchor(engine, [&] {
+    char buf[256];
+    std::memset(buf, 'a', sizeof(buf));
+    auto r = engine.take(cp);
+    arrivals++;
+    if (r == CheckpointResult::kTaken) {
+      std::memset(buf, 'z', sizeof(buf));
+      engine.restore(cp);
+      FAIL();
+    }
+    for (char c : buf) ASSERT_EQ(c, 'a');
+    EXPECT_EQ(arrivals, 2);
+  });
+}
+
+// Restore must work from a deeper frame than the one that took the
+// checkpoint (the common case: abort happens inside a callee).
+void deep_restore(CheckpointEngine& engine, Checkpoint& cp, int depth) {
+  volatile char pad[128];
+  pad[0] = static_cast<char>(depth);
+  if (depth > 0) {
+    deep_restore(engine, cp, depth - 1);
+    return;
+  }
+  engine.restore(cp);
+}
+
+TEST_F(CheckpointTest, RestoreFromDeepCallee) {
+  static int arrivals;
+  arrivals = 0;
+  run_below_anchor(engine, [&] {
+    auto r = engine.take(cp);
+    arrivals++;
+    if (r == CheckpointResult::kTaken) {
+      deep_restore(engine, cp, 16);
+      FAIL();
+    }
+    EXPECT_EQ(arrivals, 2);
+  });
+}
+
+// Restore must also work when the aborting code runs in a *shallower*
+// frame than the checkpoint was taken in (split deep in a callee that
+// returned before the abort) — this is why the restore copy-back runs
+// on a trampoline stack.
+CheckpointResult take_in_callee(CheckpointEngine& engine, Checkpoint& cp, int depth) {
+  volatile char pad[96];
+  pad[1] = static_cast<char>(depth);
+  if (depth > 0) return take_in_callee(engine, cp, depth - 1);
+  return engine.take(cp);
+}
+
+TEST_F(CheckpointTest, RestoreFromShallowerFrame) {
+  static int arrivals;
+  arrivals = 0;
+  run_below_anchor(engine, [&] {
+    auto r = take_in_callee(engine, cp, 12);
+    arrivals++;
+    if (r == CheckpointResult::kTaken) {
+      engine.restore(cp);  // we are shallower than the saved frames now
+      FAIL();
+    }
+    EXPECT_EQ(arrivals, 2);
+  });
+}
+
+TEST_F(CheckpointTest, RepeatedRestores) {
+  static int arrivals;
+  arrivals = 0;
+  run_below_anchor(engine, [&] {
+    engine.take(cp);
+    arrivals++;
+    if (arrivals < 5) {
+      engine.restore(cp);
+      FAIL();
+    }
+    EXPECT_EQ(arrivals, 5);
+  });
+}
+
+TEST_F(CheckpointTest, RetakeReplacesCheckpoint) {
+  static int phase;
+  phase = 0;
+  run_below_anchor(engine, [&] {
+    auto r1 = engine.take(cp);
+    if (phase == 0 && r1 == CheckpointResult::kTaken) {
+      phase = 1;
+      // Take a second checkpoint into the same object (split behavior).
+      auto r2 = engine.take(cp);
+      if (r2 == CheckpointResult::kTaken) {
+        phase = 2;
+        engine.restore(cp);
+        FAIL();
+      }
+      // Restored to the SECOND checkpoint, not the first.
+      EXPECT_EQ(r2, CheckpointResult::kRestored);
+      EXPECT_EQ(phase, 2);
+      return;
+    }
+    FAIL() << "restored to the stale first checkpoint";
+  });
+}
+
+TEST_F(CheckpointTest, SavedBytesGrowWithDepth) {
+  static size_t shallowBytes, deepBytes;
+  run_below_anchor(engine, [&] {
+    Checkpoint c1;
+    engine.take(c1);
+    shallowBytes = c1.saved_bytes();
+  });
+  run_below_anchor(engine, [&] {
+    Checkpoint c2;
+    (void)take_in_callee(engine, c2, 10);
+    deepBytes = c2.saved_bytes();
+  });
+  EXPECT_GT(deepBytes, shallowBytes);
+}
+
+}  // namespace
+}  // namespace sbd::core

@@ -1,0 +1,106 @@
+// Graceful degradation (core/degrade.h): a section aborting past the
+// retry budget escalates to serialized execution under the global
+// token, drains the abort storm, and still produces correct results.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "api/sbd.h"
+#include "core/degrade.h"
+#include "core/fault.h"
+#include "core/transaction.h"
+
+namespace sbd {
+namespace {
+
+class Counter : public runtime::TypedRef<Counter> {
+ public:
+  SBD_CLASS(DegradeCounter, SBD_SLOT("n"))
+  SBD_FIELD_I64(0, n)
+};
+
+// Restores the default budget even when an assertion fails out.
+struct BudgetGuard {
+  explicit BudgetGuard(uint64_t b) { core::degrade::set_retry_budget(b); }
+  ~BudgetGuard() { core::degrade::set_retry_budget(64); }
+};
+
+TEST(Degrade, AbortStormEscalatesToSerializedExecution) {
+  const uint64_t before = core::degrade::escalations();
+  const auto statsBefore = core::TxnManager::instance().snapshot_stats();
+  BudgetGuard budget(3);
+  {
+    // 90% of splits abort: nearly every section burns through the
+    // 3-retry budget, so escalation must engage. The sections still
+    // commit eventually (the injector is probabilistic, and escalated
+    // sections skip the backoff), so the loop terminates.
+    fault::PlanScope storm(fault::single_site(fault::Site::kSplitAbort, 0.9, 42));
+    run_sbd([&] {
+      for (int i = 0; i < 20; i++) split();
+    });
+  }
+  EXPECT_GT(core::degrade::escalations(), before)
+      << "a 90% abort storm over a 3-retry budget must escalate";
+  const auto stats = core::TxnManager::instance().snapshot_stats().diff(statsBefore);
+  EXPECT_GT(stats.escalations, 0u) << "escalations must show up in per-thread stats";
+  EXPECT_GT(stats.aborts, 0u);
+}
+
+TEST(Degrade, TokenIsReleasedAtCommit) {
+  // Two escalation rounds back to back: if the first held onto the
+  // token, the second would block forever (and the 240s test timeout
+  // would flag it).
+  BudgetGuard budget(2);
+  for (int round = 0; round < 2; round++) {
+    fault::PlanScope storm(fault::single_site(fault::Site::kSplitAbort, 0.9,
+                                              static_cast<uint64_t>(100 + round)));
+    run_sbd([&] {
+      for (int i = 0; i < 10; i++) split();
+    });
+  }
+}
+
+TEST(Degrade, ConcurrentThrashersAllCompleteCorrectly) {
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 25;
+  const uint64_t before = core::degrade::escalations();
+  BudgetGuard budget(2);
+  runtime::GlobalRoot<Counter> total;
+  run_sbd([&] {
+    Counter c = Counter::alloc();
+    c.init_n(0);
+    total.set(c);
+  });
+  {
+    fault::PlanScope storm(fault::single_site(fault::Site::kSplitAbort, 0.7, 9));
+    std::vector<SbdThread> ts;
+    for (int t = 0; t < kThreads; t++) {
+      ts.emplace_back([&] {
+        for (int i = 0; i < kIncrements; i++) {
+          Counter c = total.get();
+          c.set_n(c.n() + 1);
+          split();
+        }
+      });
+    }
+    for (auto& t : ts) t.start();
+    for (auto& t : ts) t.join();
+  }
+  run_sbd([&] { EXPECT_EQ(total.get().n(), kThreads * kIncrements); });
+  EXPECT_GT(core::degrade::escalations(), before);
+}
+
+TEST(Degrade, ZeroBudgetDisablesEscalation) {
+  const uint64_t before = core::degrade::escalations();
+  BudgetGuard budget(0);
+  {
+    fault::PlanScope storm(fault::single_site(fault::Site::kSplitAbort, 0.8, 13));
+    run_sbd([&] {
+      for (int i = 0; i < 15; i++) split();
+    });
+  }
+  EXPECT_EQ(core::degrade::escalations(), before);
+}
+
+}  // namespace
+}  // namespace sbd

@@ -1,0 +1,124 @@
+// Fair-queue behavior (§3.2 progress guarantees): once a writer waits,
+// later readers line up behind it instead of starving it, and upgrading
+// readers enter at the queue front.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "api/sbd.h"
+
+namespace sbd {
+namespace {
+
+class Cell : public runtime::TypedRef<Cell> {
+ public:
+  SBD_CLASS(FairCell, SBD_SLOT("v"))
+  SBD_FIELD_I64(0, v)
+};
+
+// A writer that arrives while readers hold the lock must not be starved
+// by a steady stream of later readers: the queue-attached word stops
+// new readers from grabbing directly (read_grabbable requires no queue).
+TEST(Fairness, WriterNotStarvedByReaderStream) {
+  runtime::GlobalRoot<Cell> cell;
+  run_sbd([&] {
+    Cell c = Cell::alloc();
+    c.init_v(0);
+    cell.set(c);
+  });
+  std::atomic<bool> writerDone{false};
+  std::atomic<uint64_t> readsAfterWrite{0};
+  std::atomic<uint64_t> readsTotal{0};
+  {
+    std::vector<SbdThread> readers;
+    for (int t = 0; t < 3; t++) {
+      readers.emplace_back([&] {
+        for (int i = 0; i < 800 && !writerDone.load(); i++) {
+          (void)cell.get().v();
+          readsTotal++;
+          split();
+        }
+      });
+    }
+    SbdThread writer([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      cell.get().set_v(42);
+      split();
+      writerDone = true;
+    });
+    for (auto& r : readers) r.start();
+    writer.start();
+    writer.join();
+    // Writer completed while readers were still hammering the lock.
+    readsAfterWrite = readsTotal.load();
+    for (auto& r : readers) r.join();
+  }
+  EXPECT_TRUE(writerDone.load());
+  run_sbd([&] { EXPECT_EQ(cell.get().v(), 42); });
+}
+
+// Dueling write-upgrades (§3.2): two readers that both upgrade resolve
+// deterministically — one aborts, both eventually commit.
+TEST(Fairness, DuelingUpgradesResolve) {
+  runtime::GlobalRoot<Cell> cell;
+  run_sbd([&] {
+    Cell c = Cell::alloc();
+    c.init_v(0);
+    cell.set(c);
+  });
+  std::atomic<int> phase{0};
+  {
+    std::vector<SbdThread> ts;
+    for (int t = 0; t < 2; t++) {
+      ts.emplace_back([&] {
+        Cell c = cell.get();
+        const int64_t v = c.v();  // both take the read lock
+        phase.fetch_add(1);
+        while (phase.load() < 2) {
+        }
+        c.set_v(v + 1);  // both upgrade -> duel -> one aborts & retries
+      });
+    }
+    for (auto& t : ts) t.start();
+    for (auto& t : ts) t.join();
+  }
+  run_sbd([&] {
+    const int64_t v = cell.get().v();
+    // Lost-update semantics depend on retry interleaving, but the value
+    // must be one of the serializable outcomes and never corrupt.
+    EXPECT_TRUE(v == 1 || v == 2) << v;
+  });
+}
+
+// Shared read locks: many concurrent readers of the same field do not
+// serialize (no contended acquires when only readers are around).
+TEST(Fairness, ReadersShareTheLock) {
+  runtime::GlobalRoot<Cell> cell;
+  run_sbd([&] {
+    Cell c = Cell::alloc();
+    c.init_v(7);
+    cell.set(c);
+  });
+  const auto before = core::TxnManager::instance().snapshot_stats();
+  {
+    std::vector<SbdThread> ts;
+    for (int t = 0; t < 4; t++) {
+      ts.emplace_back([&] {
+        for (int i = 0; i < 300; i++) {
+          EXPECT_EQ(cell.get().v(), 7);
+          split();
+        }
+      });
+    }
+    for (auto& t : ts) t.start();
+    for (auto& t : ts) t.join();
+  }
+  const auto after = core::TxnManager::instance().snapshot_stats().diff(before);
+  EXPECT_EQ(after.aborts, 0u);
+  // CAS races are possible (concurrent bit sets), but queue waits should
+  // be essentially absent for pure readers.
+  EXPECT_LT(after.contendedAcquires, 20u);
+}
+
+}  // namespace
+}  // namespace sbd

@@ -1,0 +1,72 @@
+#include "core/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace sbd::core {
+namespace {
+
+TEST(TxnIdPool, StartsFull) {
+  TxnIdPool pool;
+  EXPECT_EQ(pool.available(), kMaxTxns);
+}
+
+TEST(TxnIdPool, AcquireAllIdsAreDistinct) {
+  TxnIdPool pool;
+  std::set<int> ids;
+  for (int i = 0; i < kMaxTxns; i++) {
+    const int id = pool.try_acquire();
+    ASSERT_GE(id, 0);
+    ASSERT_LT(id, kMaxTxns);
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate id " << id;
+  }
+  EXPECT_EQ(pool.available(), 0);
+  EXPECT_EQ(pool.try_acquire(), -1);
+}
+
+TEST(TxnIdPool, ReleaseMakesIdAvailableAgain) {
+  TxnIdPool pool;
+  const int id = pool.try_acquire();
+  EXPECT_EQ(pool.available(), kMaxTxns - 1);
+  pool.release(id);
+  EXPECT_EQ(pool.available(), kMaxTxns);
+}
+
+TEST(TxnIdPool, BlockingAcquireWakesOnRelease) {
+  TxnIdPool pool;
+  std::vector<int> ids;
+  for (int i = 0; i < kMaxTxns; i++) ids.push_back(pool.try_acquire());
+
+  std::atomic<int> got{-2};
+  std::thread t([&] { got = pool.acquire(); });
+  // Give the thread time to block.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(got.load(), -2);
+  pool.release(ids[7]);
+  t.join();
+  EXPECT_EQ(got.load(), ids[7]);
+}
+
+TEST(TxnIdPool, ConcurrentChurnKeepsInvariant) {
+  TxnIdPool pool;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 8; t++) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 2000; i++) {
+        const int id = pool.acquire();
+        if (id < 0 || id >= kMaxTxns) failed = true;
+        pool.release(id);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(pool.available(), kMaxTxns);
+}
+
+}  // namespace
+}  // namespace sbd::core

@@ -1,0 +1,103 @@
+#include "core/lockword.h"
+
+#include <gtest/gtest.h>
+
+namespace sbd::core {
+namespace {
+
+TEST(LockWord, LayoutConstants) {
+  // 56 owner bits + W + U + 6 queue bits = 64.
+  EXPECT_EQ(kMemberMask, 0x00FFFFFFFFFFFFFFULL);
+  EXPECT_EQ(kWriterBit, 1ULL << 56);
+  EXPECT_EQ(kUpgraderBit, 1ULL << 57);
+  EXPECT_EQ(kQueueMask, 0xFC00000000000000ULL);
+}
+
+TEST(LockWord, TxnMaskOneBitPerId) {
+  for (int i = 0; i < kMaxTxns; i++) {
+    EXPECT_EQ(__builtin_popcountll(txn_mask(i)), 1);
+    EXPECT_NE(txn_mask(i) & kMemberMask, 0u);
+  }
+}
+
+TEST(LockWord, MemberRoundTrip) {
+  LockWord w = 0;
+  w = with_member(w, txn_mask(3));
+  EXPECT_TRUE(is_member(w, txn_mask(3)));
+  EXPECT_FALSE(is_member(w, txn_mask(4)));
+  w = without_member(w, txn_mask(3));
+  EXPECT_TRUE(is_free(w));
+}
+
+TEST(LockWord, WriterFlag) {
+  LockWord w = with_member(0, txn_mask(0));
+  EXPECT_FALSE(has_writer(w));
+  w = with_writer(w);
+  EXPECT_TRUE(has_writer(w));
+  w = without_writer(w);
+  EXPECT_FALSE(has_writer(w));
+}
+
+TEST(LockWord, UpgraderFlag) {
+  LockWord w = 0;
+  w = with_upgrader(w);
+  EXPECT_TRUE(has_upgrader(w));
+  EXPECT_FALSE(has_writer(w));
+  w = without_upgrader(w);
+  EXPECT_FALSE(has_upgrader(w));
+}
+
+TEST(LockWord, QueueIdRoundTrip) {
+  LockWord w = with_member(0, txn_mask(55));
+  for (int qid = 0; qid <= kNumQueues; qid++) {
+    LockWord q = with_queue(w, qid);
+    EXPECT_EQ(queue_id(q), qid);
+    EXPECT_EQ(members(q), members(w)) << "queue id must not disturb members";
+  }
+  EXPECT_EQ(queue_id(without_queue(with_queue(w, 17))), 0);
+}
+
+TEST(LockWord, FieldsDoNotOverlap) {
+  LockWord w = 0;
+  w = with_member(w, txn_mask(55));
+  w = with_writer(w);
+  w = with_upgrader(w);
+  w = with_queue(w, 63);
+  EXPECT_TRUE(is_member(w, txn_mask(55)));
+  EXPECT_TRUE(has_writer(w));
+  EXPECT_TRUE(has_upgrader(w));
+  EXPECT_EQ(queue_id(w), 63);
+  EXPECT_EQ(members(w), txn_mask(55));
+}
+
+TEST(LockWord, ReadGrabbable) {
+  const LockWord me = txn_mask(1);
+  EXPECT_TRUE(read_grabbable(0, me));
+  EXPECT_TRUE(read_grabbable(with_member(0, txn_mask(2)), me));  // shared read
+  EXPECT_FALSE(read_grabbable(with_writer(with_member(0, txn_mask(2))), me));
+  EXPECT_FALSE(read_grabbable(with_upgrader(with_member(0, txn_mask(2))), me));
+  EXPECT_FALSE(read_grabbable(with_queue(0, 5), me));  // fairness: queue attached
+}
+
+TEST(LockWord, WriteGrabbable) {
+  const LockWord me = txn_mask(1);
+  EXPECT_TRUE(write_grabbable(0, me));
+  // Sole-reader upgrade is allowed.
+  EXPECT_TRUE(write_grabbable(with_member(0, me), me));
+  // Not with other readers present.
+  EXPECT_FALSE(write_grabbable(with_member(with_member(0, me), txn_mask(2)), me));
+  // Not when a queue is attached.
+  EXPECT_FALSE(write_grabbable(with_queue(0, 3), me));
+  // Not when another transaction holds a write lock.
+  EXPECT_FALSE(write_grabbable(with_writer(with_member(0, txn_mask(2))), me));
+}
+
+TEST(LockWord, SoleMember) {
+  const LockWord me = txn_mask(9);
+  EXPECT_TRUE(sole_member(with_member(0, me), me));
+  EXPECT_FALSE(sole_member(with_member(with_member(0, me), txn_mask(10)), me));
+  EXPECT_FALSE(sole_member(0, me));
+}
+
+}  // namespace
+}  // namespace sbd::core

@@ -1,0 +1,99 @@
+// Substrate fault injection (db): spurious lock-wait timeouts
+// (DbDeadlock) abort and retry the whole atomic section — memory via
+// the STM undo log, rows via the DB undo log — and commit-fence faults
+// only delay, never fail. Invariants must hold through both.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "api/sbd.h"
+#include "core/fault.h"
+#include "db/db.h"
+#include "db/txwrapper.h"
+
+namespace sbd::db {
+namespace {
+
+// SQL helpers return before any split so no ResultSet survives a
+// checkpoint on the stack.
+int64_t read_balance(TxDbConnection& conn, int64_t id) {
+  auto rs = conn.execute("SELECT balance FROM accounts WHERE id = ?", {int64_t{id}});
+  return rs.int_at(0, 0);
+}
+
+void transfer(TxDbConnection& conn, int64_t from, int64_t to, int64_t amount) {
+  const int64_t bal = read_balance(conn, from);
+  if (bal < amount) return;
+  conn.execute("UPDATE accounts SET balance = ? WHERE id = ?",
+               {int64_t{bal - amount}, int64_t{from}});
+  const int64_t dst = read_balance(conn, to);
+  conn.execute("UPDATE accounts SET balance = ? WHERE id = ?",
+               {int64_t{dst + amount}, int64_t{to}});
+}
+
+void bump(TxDbConnection& conn, int64_t id) {
+  conn.execute("UPDATE accounts SET balance = ? WHERE id = ?",
+               {int64_t{read_balance(conn, id) + 1}, int64_t{id}});
+}
+
+TEST(DbFault, SingleThreadRetriesYieldExactResult) {
+  Database database;
+  {
+    auto c = database.connect();
+    c->execute("CREATE TABLE accounts (id INT PRIMARY KEY, balance INT)");
+    c->execute("INSERT INTO accounts VALUES (0, 0)");
+  }
+  TxDbConnection conn(database);  // outside any section: never rolled back
+  {
+    fault::PlanScope plan(fault::single_site(fault::Site::kDbLockTimeout, 0.3, 5));
+    run_sbd([&] {
+      for (int i = 0; i < 40; i++) {
+        bump(conn, 0);
+        split();
+      }
+    });
+    EXPECT_GT(fault::fired(fault::Site::kDbLockTimeout), 0u)
+        << "the plan must actually have exercised the retry path";
+  }
+  run_sbd([&] { EXPECT_EQ(read_balance(conn, 0), 40); });
+}
+
+TEST(DbFault, ConcurrentTransfersConserveBalanceUnderFaults) {
+  constexpr int64_t kAccounts = 4;
+  constexpr int64_t kInitial = 100;
+  Database database;
+  {
+    auto c = database.connect();
+    c->execute("CREATE TABLE accounts (id INT PRIMARY KEY, balance INT)");
+    for (int64_t i = 0; i < kAccounts; i++)
+      c->execute("INSERT INTO accounts VALUES (?, ?)", {int64_t{i}, int64_t{kInitial}});
+  }
+  {
+    fault::FaultPlan p;
+    p.seed = 11;
+    p.delayNanos = 10'000;  // keep the commit-fence stalls short
+    p.with(fault::Site::kDbLockTimeout, 0.15).with(fault::Site::kDbCommit, 0.3);
+    fault::PlanScope plan(p);
+    std::vector<SbdThread> ts;
+    for (int t = 0; t < 3; t++) {
+      ts.emplace_back([&, t] {
+        TxDbConnection conn(database);
+        for (int i = 0; i < 30; i++) {
+          transfer(conn, (t + i) % kAccounts, (t + i + 1) % kAccounts, 5);
+          split();
+        }
+      });
+    }
+    for (auto& t : ts) t.start();
+    for (auto& t : ts) t.join();
+    EXPECT_GT(fault::fired(fault::Site::kDbLockTimeout), 0u);
+    EXPECT_GT(fault::fired(fault::Site::kDbCommit), 0u);
+  }
+  auto c = database.connect();
+  EXPECT_EQ(c->execute("SELECT SUM(balance) FROM accounts").int_at(0, 0),
+            kAccounts * kInitial)
+      << "transfers must conserve the total through aborts and retries";
+}
+
+}  // namespace
+}  // namespace sbd::db
