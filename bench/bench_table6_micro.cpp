@@ -41,12 +41,13 @@ double run_pattern(uint64_t ops, uint64_t numInstances, bool write, bool random,
   std::vector<runtime::ManagedObject*> objs(numInstances);
   double seconds = 0;
   run_sbd([&] {
+    auto& tc = sbd::context();  // one TLS lookup for the whole measurement
     for (uint64_t i = 0; i < numInstances; i++) {
       Field1 f = Field1::alloc();
       f.init_value(static_cast<int64_t>(i));
       objs[i] = f.raw();
     }
-    if (effect != 1) split();  // effect 1 ("new") keeps instances new
+    if (effect != 1) split(tc);  // effect 1 ("new") keeps instances new
 
     Rng rng(99);
     Stopwatch sw;
@@ -68,9 +69,9 @@ double run_pattern(uint64_t ops, uint64_t numInstances, bool write, bool random,
           const uint64_t k = random ? rng.below(numInstances) : i % numInstances;
           Field1 f(objs[k]);
           if (write)
-            f.set_value(static_cast<int64_t>(i));
+            f.set_value(tc, static_cast<int64_t>(i));
           else
-            sink += f.value();
+            sink += f.value(tc);
         }
         break;
       }
@@ -78,9 +79,9 @@ double run_pattern(uint64_t ops, uint64_t numInstances, bool write, bool random,
         for (uint64_t k = 0; k < numInstances; k++) {
           Field1 f(objs[k]);
           if (write)
-            f.set_value(1);
+            f.set_value(tc, 1);
           else
-            (void)f.value();
+            (void)f.value(tc);
         }
         sw.reset();
         volatile int64_t sink = 0;
@@ -88,9 +89,9 @@ double run_pattern(uint64_t ops, uint64_t numInstances, bool write, bool random,
           const uint64_t k = random ? rng.below(numInstances) : i % numInstances;
           Field1 f(objs[k]);
           if (write)
-            f.set_value(static_cast<int64_t>(i));
+            f.set_value(tc, static_cast<int64_t>(i));
           else
-            sink += f.value();
+            sink += f.value(tc);
         }
         break;
       }
@@ -100,10 +101,10 @@ double run_pattern(uint64_t ops, uint64_t numInstances, bool write, bool random,
           const uint64_t k = random ? rng.below(numInstances) : i % numInstances;
           Field1 f(objs[k]);
           if (write)
-            f.set_value(static_cast<int64_t>(i));
+            f.set_value(tc, static_cast<int64_t>(i));
           else
-            sink += f.value();
-          split();  // release, so the next access acquires again
+            sink += f.value(tc);
+          split(tc);  // release, so the next access acquires again
         }
         break;
       }
@@ -120,13 +121,16 @@ int main(int argc, char** argv) {
   Options opts(argc, argv);
   const auto ops = static_cast<uint64_t>(opts.get_int("ops", 400000));
   const auto instances = static_cast<uint64_t>(opts.get_int("instances", 100000));
+  const std::string jsonPath = opts.get_str("json", "");
 
   std::printf("=== Table 6: microbenchmark, %llu ops over %llu instances ===\n\n",
               static_cast<unsigned long long>(ops),
               static_cast<unsigned long long>(instances));
   TextTable t({"Effect", "Read/Rnd", "Read/Seq", "Write/Rnd", "Write/Seq"});
   const char* names[4] = {"Baseline", "New", "Owned", "Acq&Rls"};
+  const char* patterns[4] = {"read_rnd", "read_seq", "write_rnd", "write_seq"};
   double base[4] = {0, 0, 0, 0};
+  double all[4][4];
   for (int effect = 0; effect < 4; effect++) {
     double cells[4];
     int c = 0;
@@ -137,6 +141,7 @@ int main(int argc, char** argv) {
     }
     if (effect == 0)
       for (int i = 0; i < 4; i++) base[i] = cells[i];
+    for (int i = 0; i < 4; i++) all[effect][i] = cells[i];
     auto fmt = [&](int i) {
       std::string s = TextTable::fmt(cells[i] * 1000, 1) + "ms";
       if (effect > 0 && base[i] > 0)
@@ -149,5 +154,33 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape check (paper Table 6): New adds ~1%%, Owned adds a check\n"
       "(tens of %%), Acq&Rls costs multiples of the baseline.\n");
+
+  if (!jsonPath.empty()) {
+    // Machine-readable results for CI perf-smoke trending: milliseconds
+    // and throughput per effect x pattern cell.
+    std::FILE* f = std::fopen(jsonPath.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"ops\": %llu,\n  \"instances\": %llu,\n  \"effects\": {\n",
+                 static_cast<unsigned long long>(ops),
+                 static_cast<unsigned long long>(instances));
+    for (int effect = 0; effect < 4; effect++) {
+      std::fprintf(f, "    \"%s\": {", names[effect]);
+      for (int i = 0; i < 4; i++) {
+        const double ms = all[effect][i] * 1000;
+        const double opsPerSec = all[effect][i] > 0
+                                     ? static_cast<double>(ops) / all[effect][i]
+                                     : 0;
+        std::fprintf(f, "%s\"%s_ms\": %.3f, \"%s_ops_per_sec\": %.0f",
+                     i == 0 ? "" : ", ", patterns[i], ms, patterns[i], opsPerSec);
+      }
+      std::fprintf(f, "}%s\n", effect == 3 ? "" : ",");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", jsonPath.c_str());
+  }
   return 0;
 }

@@ -28,16 +28,22 @@
 
 namespace sbd {
 
+// The calling thread's SBD context. Hot loops should resolve this once
+// and pass it to the tc-taking accessor/split overloads instead of
+// paying a TLS lookup per operation.
+inline core::ThreadContext& context() { return core::tls_context(); }
+
 // Ends the current atomic section and begins a new one, releasing all
 // locks and making all effects (memory and buffered I/O) visible.
 // Ignored inside a noSplit block; otherwise requires a canSplit scope.
-inline void split() {
-  auto& tc = core::tls_context();
+inline void split(core::ThreadContext& tc) {
   SBD_CHECK_MSG(tc.txn.active(), "split outside an atomic section");
   if (tc.noSplitDepth > 0) return;  // §3.7: composition suppresses splits
   SBD_CHECK_MSG(tc.canSplitDepth > 0, "split in a method without canSplit");
   core::split_section(tc);
 }
+
+inline void split() { split(core::tls_context()); }
 
 // Marks the dynamic extent of a canSplit method. Constructors must not
 // open one (uninitialized instances must not escape a section, §2.2).

@@ -12,6 +12,7 @@ namespace {
 thread_local CheckpointEngine* tActiveEngine = nullptr;
 thread_local Checkpoint* tActiveCheckpoint = nullptr;
 
+#if !SBD_FASTCTX
 inline void* current_sp_from(const ucontext_t& ctx) {
 #if defined(__x86_64__)
   return reinterpret_cast<void*>(ctx.uc_mcontext.gregs[REG_RSP]);
@@ -21,6 +22,7 @@ inline void* current_sp_from(const ucontext_t& ctx) {
 #error "unsupported architecture for SBD checkpointing"
 #endif
 }
+#endif
 }  // namespace
 
 CheckpointEngine::CheckpointEngine() : trampolineStack_(64 * 1024) {}
@@ -33,6 +35,13 @@ void CheckpointEngine::set_anchor_at(void* anchor) {
 
 CheckpointResult CheckpointEngine::take(Checkpoint& cp) {
   SBD_CHECK_MSG(anchor_ != nullptr, "set_anchor_at() not called on this thread");
+#if SBD_FASTCTX
+  // Control reaches this point twice: sbd_ctx_save returns 0 on the
+  // initial capture and 1 when the restore trampoline jumps back after
+  // copying the captured stack bytes back in place.
+  if (sbd_ctx_save(&cp.fctx_) != 0) return CheckpointResult::kRestored;
+  void* sp = fastctx_sp(cp.fctx_);
+#else
   resumedFromRestore_ = false;
   getcontext(&cp.ctx_);
   // Control reaches this point twice: right after getcontext (initial
@@ -44,6 +53,7 @@ CheckpointResult CheckpointEngine::take(Checkpoint& cp) {
     return CheckpointResult::kRestored;
   }
   void* sp = current_sp_from(cp.ctx_);
+#endif
   SBD_CHECK_MSG(sp < anchor_, "stack pointer above anchor — anchor taken too low");
   const size_t len = static_cast<size_t>(static_cast<std::byte*>(anchor_) -
                                          static_cast<std::byte*>(sp));
@@ -76,7 +86,11 @@ void CheckpointEngine::trampoline_entry() {
   Checkpoint* cp = tActiveCheckpoint;
   std::memcpy(cp->sp_, cp->stackCopy_.data(), cp->stackCopy_.size());
   (void)eng;
+#if SBD_FASTCTX
+  sbd_ctx_jump(&cp->fctx_);
+#else
   setcontext(&cp->ctx_);
+#endif
 }
 
 }  // namespace sbd::core

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/fastctx.h"
+
 namespace sbd::core {
 
 enum class CheckpointResult {
@@ -40,14 +42,35 @@ class Checkpoint {
   bool valid() const { return sp_ != nullptr; }
   size_t saved_bytes() const { return stackCopy_.size(); }
 
+  // Drops the capture. Called when the episode ends: a checkpoint that
+  // can never be restored again must not stay a GC root, or its stack
+  // snapshot pins every object the final section could see.
+  void invalidate() {
+    sp_ = nullptr;
+    stackCopy_.clear();
+    stackCopy_.shrink_to_fit();
+  }
+
   // Conservative-GC access: the saved stack bytes and register file may
-  // hold the only references to managed objects.
+  // hold the only references to managed objects. The register area is
+  // either a FastContext (raw, unmangled callee-saved registers) or a
+  // full ucontext_t on the fallback path — both scan as raw words.
   const std::vector<std::byte>& stack_copy() const { return stackCopy_; }
-  const ucontext_t& context() const { return ctx_; }
+#if SBD_FASTCTX
+  const void* reg_area() const { return &fctx_; }
+  size_t reg_area_bytes() const { return sizeof(fctx_); }
+#else
+  const void* reg_area() const { return &ctx_; }
+  size_t reg_area_bytes() const { return sizeof(ctx_); }
+#endif
 
  private:
   friend class CheckpointEngine;
+#if SBD_FASTCTX
+  FastContext fctx_{};
+#else
   ucontext_t ctx_{};
+#endif
   std::vector<std::byte> stackCopy_;
   void* sp_ = nullptr;  // low address of the saved segment
 };

@@ -1,0 +1,105 @@
+#include "core/fastctx.h"
+
+#if SBD_FASTCTX
+
+#if defined(__x86_64__)
+
+// Offsets match FastContext in fastctx.h. The resume transfer uses
+// push+ret instead of an indirect jmp so it stays valid under CET/IBT
+// (return addresses are not indirect-branch targets and carry no
+// endbr64 marker). The push writes to the word just below the restored
+// stack pointer, which is dead by construction: nothing below the
+// capture-time rsp was saved.
+asm(R"(
+        .text
+        .globl  sbd_ctx_save
+        .hidden sbd_ctx_save
+        .type   sbd_ctx_save, @function
+sbd_ctx_save:
+        endbr64
+        movq    (%rsp), %rax
+        movq    %rax,  0(%rdi)
+        leaq    8(%rsp), %rax
+        movq    %rax,  8(%rdi)
+        movq    %rbx, 16(%rdi)
+        movq    %rbp, 24(%rdi)
+        movq    %r12, 32(%rdi)
+        movq    %r13, 40(%rdi)
+        movq    %r14, 48(%rdi)
+        movq    %r15, 56(%rdi)
+        stmxcsr 64(%rdi)
+        fnstcw  68(%rdi)
+        xorl    %eax, %eax
+        ret
+        .size   sbd_ctx_save, .-sbd_ctx_save
+
+        .globl  sbd_ctx_jump
+        .hidden sbd_ctx_jump
+        .type   sbd_ctx_jump, @function
+sbd_ctx_jump:
+        endbr64
+        movq    16(%rdi), %rbx
+        movq    24(%rdi), %rbp
+        movq    32(%rdi), %r12
+        movq    40(%rdi), %r13
+        movq    48(%rdi), %r14
+        movq    56(%rdi), %r15
+        ldmxcsr 64(%rdi)
+        fldcw   68(%rdi)
+        movq     8(%rdi), %rsp
+        pushq    0(%rdi)
+        movl    $1, %eax
+        ret
+        .size   sbd_ctx_jump, .-sbd_ctx_jump
+)");
+
+#elif defined(__aarch64__)
+
+asm(R"(
+        .text
+        .globl  sbd_ctx_save
+        .hidden sbd_ctx_save
+        .type   sbd_ctx_save, %function
+sbd_ctx_save:
+        mov     x1, sp
+        str     x30, [x0, #0]
+        str     x1,  [x0, #8]
+        stp     x19, x20, [x0, #16]
+        stp     x21, x22, [x0, #32]
+        stp     x23, x24, [x0, #48]
+        stp     x25, x26, [x0, #64]
+        stp     x27, x28, [x0, #80]
+        str     x29, [x0, #96]
+        stp     d8,  d9,  [x0, #104]
+        stp     d10, d11, [x0, #120]
+        stp     d12, d13, [x0, #136]
+        stp     d14, d15, [x0, #152]
+        mov     w0, #0
+        ret
+        .size   sbd_ctx_save, .-sbd_ctx_save
+
+        .globl  sbd_ctx_jump
+        .hidden sbd_ctx_jump
+        .type   sbd_ctx_jump, %function
+sbd_ctx_jump:
+        ldp     x19, x20, [x0, #16]
+        ldp     x21, x22, [x0, #32]
+        ldp     x23, x24, [x0, #48]
+        ldp     x25, x26, [x0, #64]
+        ldp     x27, x28, [x0, #80]
+        ldr     x29, [x0, #96]
+        ldp     d8,  d9,  [x0, #104]
+        ldp     d10, d11, [x0, #120]
+        ldp     d12, d13, [x0, #136]
+        ldp     d14, d15, [x0, #152]
+        ldr     x1,  [x0, #8]
+        mov     sp, x1
+        ldr     x30, [x0, #0]
+        mov     w0, #1
+        ret
+        .size   sbd_ctx_jump, .-sbd_ctx_jump
+)");
+
+#endif
+
+#endif  // SBD_FASTCTX

@@ -1,0 +1,91 @@
+// Minimal continuation capture for the section checkpoint hot path.
+//
+// glibc's getcontext() makes a rt_sigprocmask syscall on every call
+// (~200ns), and SBD takes a checkpoint at every section boundary —
+// begin and every split — so the syscall dominates the per-section
+// bookkeeping cost (bench_table6_micro, Acq&Rls effect). SBD never
+// changes the signal mask between capture and restore, so the mask
+// save/restore is pure waste.
+//
+// FastContext captures exactly what a resume needs: the callee-saved
+// registers, the stack pointer, the resume address, and the FP control
+// state. Restore jumps back with the stack bytes already copied in by
+// the trampoline (see CheckpointEngine::restore). Unlike jmp_buf, the
+// saved words are NOT pointer-mangled, so the conservative GC can scan
+// the structure for managed references held only in callee-saved
+// registers at capture time.
+//
+// Under sanitizers (TSan tracks longjmp-style transfers through its
+// interceptors, which raw asm would bypass) and on architectures
+// without an asm implementation, the engine falls back to the original
+// ucontext path — slower, but identical semantics.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define SBD_FASTCTX_SANITIZED 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define SBD_FASTCTX_SANITIZED 1
+#endif
+
+#if !defined(SBD_FASTCTX_SANITIZED) && (defined(__x86_64__) || defined(__aarch64__))
+#define SBD_FASTCTX 1
+#else
+#define SBD_FASTCTX 0
+#endif
+
+#if SBD_FASTCTX
+
+namespace sbd::core {
+
+#if defined(__x86_64__)
+// Field order is fixed by the assembly in fastctx.cpp.
+struct FastContext {
+  uint64_t rip;    // 0: resume address (return address of sbd_ctx_save)
+  uint64_t rsp;    // 8: stack pointer after sbd_ctx_save returns
+  uint64_t rbx;    // 16
+  uint64_t rbp;    // 24
+  uint64_t r12;    // 32
+  uint64_t r13;    // 40
+  uint64_t r14;    // 48
+  uint64_t r15;    // 56
+  uint32_t mxcsr;  // 64
+  uint32_t fcw;    // 68 (x87 control word in the low 16 bits)
+};
+
+inline void* fastctx_sp(const FastContext& c) {
+  return reinterpret_cast<void*>(c.rsp);
+}
+#elif defined(__aarch64__)
+struct FastContext {
+  uint64_t pc;      // 0: resume address (lr at capture)
+  uint64_t sp;      // 8
+  uint64_t x[10];   // 16: x19..x28
+  uint64_t fp;      // 96: x29
+  uint64_t d[8];    // 104: d8..d15
+};
+
+inline void* fastctx_sp(const FastContext& c) {
+  return reinterpret_cast<void*>(c.sp);
+}
+#endif
+
+}  // namespace sbd::core
+
+extern "C" {
+// Captures the calling continuation. Returns 0 on capture; returns 1
+// when sbd_ctx_jump later resumes it. The caller's stack frame must be
+// intact (or restored byte-for-byte) at jump time.
+int sbd_ctx_save(sbd::core::FastContext* ctx);
+
+// Resumes a captured continuation: never returns. May be called from a
+// foreign stack (the restore trampoline); the target stack must already
+// hold the capture-time bytes.
+[[noreturn]] void sbd_ctx_jump(sbd::core::FastContext* ctx);
+}
+
+#endif  // SBD_FASTCTX

@@ -45,7 +45,7 @@ constexpr LockWord without_queue(LockWord w) { return w & ~kQueueMask; }
 // A transaction may take a read lock directly (no queue round trip) when
 // nobody writes, no upgrader is pending, and no queue is attached
 // (fairness: once waiters exist, newcomers must line up, paper §3.2).
-constexpr bool read_grabbable(LockWord w, LockWord mask) {
+constexpr bool read_grabbable(LockWord w) {
   return !has_writer(w) && !has_upgrader(w) && queue_id(w) == 0;
 }
 

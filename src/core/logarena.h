@@ -1,0 +1,150 @@
+// Segmented per-thread log arenas for the transaction's undo log, lock
+// records, and init log.
+//
+// The paper's per-section bookkeeping (§3.2/§3.3) appends to these logs
+// on every first access and truncates them at every commit/abort. A
+// std::vector pays a reallocate-and-copy on growth and invalidates
+// entry pointers; the arena instead chains fixed-size chunks:
+//
+//   - push_back never moves existing entries (entry pointers are stable
+//     for the lifetime of the section — the GC and the upgrade path
+//     hold LockRecord pointers across pushes),
+//   - clear() resets the write cursor to the first chunk WITHOUT
+//     freeing, so a thread running many sections reuses the same memory
+//     with zero allocator traffic after warm-up,
+//   - a high-water decay policy returns excess chunks to the allocator
+//     when a burst section inflated the arena far beyond what recent
+//     sections use (so one huge transaction does not pin memory for the
+//     rest of the thread's life).
+//
+// Iteration is forward (GC root scan, init-log publish) or reverse
+// (undo replay and lock release walk newest-first).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace sbd::core {
+
+template <typename T, size_t kChunkEntries = 256>
+class SegmentedLog {
+  static_assert(kChunkEntries > 0);
+
+ public:
+  SegmentedLog() = default;
+  SegmentedLog(const SegmentedLog&) = delete;
+  SegmentedLog& operator=(const SegmentedLog&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void push_back(const T& v) { *advance() = v; }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    T* slot = advance();
+    *slot = T{std::forward<Args>(args)...};
+    return *slot;
+  }
+
+  // Resets the cursor to the start, keeping chunks for reuse. Decay:
+  // when the arena holds more than twice the chunks the largest section
+  // since the last decay actually used, for kDecayPeriod consecutive
+  // clears, the excess chunks are freed (the first chunk always stays).
+  void clear() {
+    if (size_ > peak_) peak_ = size_;
+    if (chunks_.size() > 1) {
+      const size_t usedChunks = (peak_ + kChunkEntries - 1) / kChunkEntries;
+      if (chunks_.size() > 2 * (usedChunks ? usedChunks : 1)) {
+        if (++decayTicks_ >= kDecayPeriod) {
+          const size_t keep = usedChunks ? usedChunks : 1;
+          chunks_.resize(keep);
+          decayTicks_ = 0;
+          peak_ = 0;
+        }
+      } else {
+        decayTicks_ = 0;
+        peak_ = 0;
+      }
+    }
+    size_ = 0;
+    chunkIdx_ = 0;
+    cur_ = chunks_.empty() ? nullptr : chunks_[0]->entries;
+    end_ = chunks_.empty() ? nullptr : chunks_[0]->entries + kChunkEntries;
+  }
+
+  // Bytes of chunk storage currently reserved (tests/introspection).
+  size_t capacity_bytes() const { return chunks_.size() * sizeof(Chunk); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    size_t remaining = size_;
+    for (size_t c = 0; remaining > 0; c++) {
+      const size_t n = remaining < kChunkEntries ? remaining : kChunkEntries;
+      const T* e = chunks_[c]->entries;
+      for (size_t i = 0; i < n; i++) fn(e[i]);
+      remaining -= n;
+    }
+  }
+
+  // Newest-first walk with mutable access (undo replay, lock release).
+  template <typename Fn>
+  void for_each_reverse(Fn&& fn) {
+    if (size_ == 0) return;
+    size_t c = (size_ - 1) / kChunkEntries;
+    size_t inLast = size_ - c * kChunkEntries;  // entries in the last chunk
+    for (;; c--) {
+      T* e = chunks_[c]->entries;
+      for (size_t i = inLast; i-- > 0;) fn(e[i]);
+      if (c == 0) break;
+      inLast = kChunkEntries;
+    }
+  }
+
+  // Newest entry matching `pred`, or nullptr (upgrade-path record fix-up).
+  template <typename Pred>
+  T* find_last_if(Pred&& pred) {
+    if (size_ == 0) return nullptr;
+    size_t c = (size_ - 1) / kChunkEntries;
+    size_t inLast = size_ - c * kChunkEntries;
+    for (;; c--) {
+      T* e = chunks_[c]->entries;
+      for (size_t i = inLast; i-- > 0;)
+        if (pred(e[i])) return &e[i];
+      if (c == 0) break;
+      inLast = kChunkEntries;
+    }
+    return nullptr;
+  }
+
+ private:
+  struct Chunk {
+    T entries[kChunkEntries];
+  };
+
+  static constexpr size_t kDecayPeriod = 64;
+
+  T* advance() {
+    if (cur_ == end_) grow();
+    size_++;
+    return cur_++;
+  }
+
+  void grow() {
+    chunkIdx_ = size_ / kChunkEntries;
+    if (chunkIdx_ == chunks_.size()) chunks_.push_back(std::make_unique<Chunk>());
+    cur_ = chunks_[chunkIdx_]->entries;
+    end_ = cur_ + kChunkEntries;
+  }
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  T* cur_ = nullptr;
+  T* end_ = nullptr;
+  size_t size_ = 0;
+  size_t chunkIdx_ = 0;
+  size_t peak_ = 0;        // max size() since the last decay window reset
+  size_t decayTicks_ = 0;  // consecutive clears with >2x over-reservation
+};
+
+}  // namespace sbd::core

@@ -146,7 +146,7 @@ void clear_section_state(ThreadContext& tc) {
   tc.txn.initLog_.clear();
   tc.txn.resources_.clear();
   tc.txn.deferred_.clear();
-  tc.txn.abortRequested_ = false;
+  tc.txn.clear_abort_request();
   tc.txn.set_inevitable(false);
   tc.sectionStartNanos = now_nanos();
   tc.sectionBlockedNanos = 0;
@@ -205,7 +205,7 @@ void checkpoint_section(ThreadContext& tc) {
     tc.canSplitDepth = tc.ckCanSplitDepth;
     tc.noSplitDepth = tc.ckNoSplitDepth;
     tc.allowSplitArmed = tc.ckAllowSplitArmed;
-    tc.txn.abortRequested_ = false;
+    tc.txn.clear_abort_request();
     tc.sectionStartNanos = now_nanos();
     tc.sectionBlockedNanos = 0;
   }
@@ -232,7 +232,7 @@ void commit_section(ThreadContext& tc) {
   //    successor section acquiring our locks observes them (§3.4).
   for (TxResource* r : tc.txn.resources_) r->on_commit();
   // 2. Publish new instances: locks pointer null -> UNALLOC (§3.3).
-  for (runtime::ManagedObject* o : tc.txn.initLog_) runtime::publish_new_object(o);
+  tc.txn.initLog_.for_each([](runtime::ManagedObject* o) { runtime::publish_new_object(o); });
   // 3. Release all field/element locks and wake waiters.
   LockEngine::release_all(tc);
   TxnManager::instance().digest_slot(tc.txn.id()).store(0, std::memory_order_release);
@@ -275,6 +275,9 @@ void end_final_section(ThreadContext& tc) {
   commit_section(tc);
   release_txn_id(tc);
   clear_section_state(tc);
+  // The episode is over: this checkpoint can never be restored, so it
+  // must stop acting as a GC root (its snapshot pins the episode stack).
+  tc.sectionStart.invalidate();
   tc.inSbd = false;
 }
 
@@ -285,8 +288,7 @@ void abort_and_restart(ThreadContext& tc) {
   for (auto it = tc.txn.resources_.rbegin(); it != tc.txn.resources_.rend(); ++it)
     (*it)->on_abort();
   // 2. Eager version management: restore old values, newest first.
-  for (auto it = tc.txn.undoLog_.rbegin(); it != tc.txn.undoLog_.rend(); ++it)
-    *it->slot = it->oldValue;
+  tc.txn.undoLog_.for_each_reverse([](UndoEntry& ue) { *ue.slot = ue.oldValue; });
   // 3. Release locks; instances in the init log become garbage.
   LockEngine::release_all(tc);
   TxnManager::instance().digest_slot(tc.txn.id()).store(0, std::memory_order_release);
@@ -423,7 +425,7 @@ void slow_acquire(ThreadContext& tc, runtime::ManagedObject* obj, LockWord* word
         tc.stats.casFailures++;
         continue;
       }
-    } else if (!wantWrite && read_grabbable(w, myBit)) {
+    } else if (!wantWrite && read_grabbable(w)) {
       if (aw->compare_exchange_weak(w, with_member(w, myBit), std::memory_order_acq_rel)) {
         tc.txn.record_lock(obj, word, false);
         tc.stats.acqRls++;
@@ -569,7 +571,7 @@ void LockEngine::acquire_read(ThreadContext& tc, runtime::ManagedObject* obj,
   for (;;) {
     LockWord w = aw->load(std::memory_order_acquire);
     if (is_member(w, tc.txn.mask())) return;  // owned
-    if (read_grabbable(w, tc.txn.mask())) {
+    if (read_grabbable(w)) {
       if (injectCasFail) {
         injectCasFail = false;
         tc.stats.casFailures++;
@@ -604,13 +606,9 @@ void LockEngine::acquire_write(ThreadContext& tc, runtime::ManagedObject* obj,
         if (sole_member(w, myBit)) {
           if (aw->compare_exchange_weak(w, with_writer(w), std::memory_order_acq_rel)) {
             // Flip the existing record so release/GC accounting sees a write.
-            for (auto it = tc.txn.lockRecords_.rbegin(); it != tc.txn.lockRecords_.rend();
-                 ++it) {
-              if (it->word == word) {
-                it->write = true;
-                break;
-              }
-            }
+            if (auto* rec = tc.txn.lockRecords_.find_last_if(
+                    [&](const LockRecord& r) { return r.word == word; }))
+              rec->write = true;
             return;
           }
           tc.stats.casFailures++;
@@ -627,22 +625,16 @@ void LockEngine::acquire_write(ThreadContext& tc, runtime::ManagedObject* obj,
           abort_and_restart(tc);
         }
         if (aw->compare_exchange_weak(w, with_upgrader(w), std::memory_order_acq_rel)) {
-          for (auto it = tc.txn.lockRecords_.rbegin(); it != tc.txn.lockRecords_.rend();
-               ++it) {
-            if (it->word == word) {
-              it->setUpgrader = true;
-              break;
-            }
-          }
+          // Arena entries never move, so the record pointer stays valid
+          // across the pushes slow_acquire may perform.
+          auto* rec = tc.txn.lockRecords_.find_last_if(
+              [&](const LockRecord& r) { return r.word == word; });
+          if (rec) rec->setUpgrader = true;
           slow_acquire(tc, obj, word, /*wantWrite=*/true, /*upgrader=*/true);
           // Upgrade succeeded: U is cleared, we hold the write lock.
-          for (auto it = tc.txn.lockRecords_.rbegin(); it != tc.txn.lockRecords_.rend();
-               ++it) {
-            if (it->word == word) {
-              it->write = true;
-              it->setUpgrader = false;
-              break;
-            }
+          if (rec) {
+            rec->write = true;
+            rec->setUpgrader = false;
           }
           return;
         }
@@ -672,25 +664,33 @@ void LockEngine::acquire_write(ThreadContext& tc, runtime::ManagedObject* obj,
 
 void LockEngine::release_all(ThreadContext& tc) {
   const LockWord myBit = tc.txn.mask();
-  for (auto it = tc.txn.lockRecords_.rbegin(); it != tc.txn.lockRecords_.rend(); ++it) {
-    auto* aw = as_atomic(it->word);
+  // Batched wake: clear every word first, remembering which queues saw
+  // a state change, then notify each distinct queue once. Queue ids are
+  // 6 bits (1..63), so a uint64_t bitmask dedups them. A waiter that
+  // needs several of our locks wakes once with all of them already
+  // free instead of once per word; a briefly-missed transition costs at
+  // most one 200us timed-wait tick (waiters always re-check).
+  uint64_t wakeMask = 0;
+  tc.txn.lockRecords_.for_each_reverse([&](LockRecord& rec) {
+    auto* aw = as_atomic(rec.word);
     LockWord w = aw->load(std::memory_order_acquire);
     LockWord target;
     do {
       target = without_member(w, myBit);
       if (sole_member(w, myBit)) target = without_writer(target);
-      if (it->setUpgrader) target = without_upgrader(target);
+      if (rec.setUpgrader) target = without_upgrader(target);
     } while (!aw->compare_exchange_weak(w, target, std::memory_order_acq_rel));
-    wake_queue(target);
+    const int qid = queue_id(target);
+    if (qid != 0) wakeMask |= 1ULL << qid;
+  });
+  auto& pool = TxnManager::instance().queue_pool();
+  while (wakeMask) {
+    const int qid = std::countr_zero(wakeMask);
+    wakeMask &= wakeMask - 1;
+    WaitQueue& q = pool.get(qid);
+    std::lock_guard<std::mutex> lk(q.mu);
+    q.notify_waiters();
   }
-}
-
-void LockEngine::wake_queue(LockWord w) {
-  const int qid = queue_id(w);
-  if (qid == 0) return;
-  WaitQueue& q = TxnManager::instance().queue_pool().get(qid);
-  std::lock_guard<std::mutex> lk(q.mu);
-  q.notify_waiters();
 }
 
 }  // namespace sbd::core

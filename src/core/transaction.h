@@ -20,6 +20,7 @@
 #include "core/fwd.h"
 #include "core/ids.h"
 #include "core/lockword.h"
+#include "core/logarena.h"
 #include "core/queue.h"
 #include "core/resource.h"
 #include "core/stats.h"
@@ -69,9 +70,12 @@ class Transaction {
   void defer(std::function<void()> action) { deferred_.push_back(std::move(action)); }
 
   // Abort signalling: set by the deadlock resolver on a *waiting*
-  // victim; the victim notices in its queue-wait loop.
-  bool abort_requested() const { return abortRequested_; }
-  void request_abort() { abortRequested_ = true; }
+  // victim; the victim notices in its queue-wait loop. Relaxed is
+  // enough: the flag is advisory (the victim re-checks under the queue
+  // mutex each wakeup tick) and carries no data dependency.
+  bool abort_requested() const { return abortRequested_.load(std::memory_order_relaxed); }
+  void request_abort() { abortRequested_.store(true, std::memory_order_relaxed); }
+  void clear_abort_request() { abortRequested_.store(false, std::memory_order_relaxed); }
 
   // Inevitable sections (core/inevitable.h) must never be aborted: the
   // deadlock resolver skips them when picking victims.
@@ -95,9 +99,9 @@ class Transaction {
 
   size_t num_locks() const { return lockRecords_.size(); }
   size_t undo_entries() const { return undoLog_.size(); }
-  const std::vector<LockRecord>& lock_records() const { return lockRecords_; }
-  const std::vector<UndoEntry>& undo_log() const { return undoLog_; }
-  const std::vector<runtime::ManagedObject*>& init_log() const { return initLog_; }
+  const SegmentedLog<LockRecord>& lock_records() const { return lockRecords_; }
+  const SegmentedLog<UndoEntry>& undo_log() const { return undoLog_; }
+  const SegmentedLog<runtime::ManagedObject*>& init_log() const { return initLog_; }
   const std::vector<TxResource*>& resources() const { return resources_; }
 
   // Internal to the STM engine (section control and lock engine).
@@ -105,14 +109,17 @@ class Transaction {
   int id_ = -1;
   LockWord mask_ = 0;
   uint64_t startSeq_ = 0;
-  volatile bool abortRequested_ = false;
+  std::atomic<bool> abortRequested_{false};
   std::atomic<bool> inevitable_{false};
   std::atomic<bool> waiting_{false};
   std::atomic<WaitQueue*> waitingIn_{nullptr};
 
-  std::vector<LockRecord> lockRecords_;
-  std::vector<UndoEntry> undoLog_;
-  std::vector<runtime::ManagedObject*> initLog_;
+  // Segmented arenas, not vectors: entries never move (the upgrade path
+  // and the GC hold entry pointers across pushes) and clear() keeps the
+  // chunks, so steady-state sections allocate nothing.
+  SegmentedLog<LockRecord> lockRecords_;
+  SegmentedLog<UndoEntry> undoLog_;
+  SegmentedLog<runtime::ManagedObject*> initLog_;
   std::vector<TxResource*> resources_;
   std::vector<std::function<void()>> deferred_;
 };
@@ -331,11 +338,9 @@ class LockEngine {
   // Ensures a write lock, upgrading a held read lock if needed.
   static void acquire_write(ThreadContext& tc, runtime::ManagedObject* obj, LockWord* word);
 
-  // Releases every lock in the transaction's record list (commit/abort).
+  // Releases every lock in the transaction's record list (commit/abort)
+  // and wakes each distinct wait queue once, after all words cleared.
   static void release_all(ThreadContext& tc);
-
-  // Wakes waiters of a lock word after its state changed.
-  static void wake_queue(LockWord w);
 };
 
 // ---------------------------------------------------------------------------

@@ -116,6 +116,7 @@ void build_sbd_scene(SbdScene& out, uint64_t seed) {
 // bit-identical to the baseline.
 struct TxTracer {
   const SbdScene& s;
+  core::ThreadContext& tc;  // cached once per worker: scene reads are per-ray
 
   raytrace::HitInfo intersect_tx(const raytrace::Ray& ray) const {
     raytrace::HitInfo best;
@@ -124,8 +125,8 @@ struct TxTracer {
     for (int i = 0; i < s.numSpheres; i++) {
       const auto base = static_cast<uint64_t>(i) * 10;
       raytrace::Sphere sp;
-      sp.center = {sd.get(base), sd.get(base + 1), sd.get(base + 2)};
-      sp.radius = sd.get(base + 3);
+      sp.center = {sd.get(tc, base), sd.get(tc, base + 1), sd.get(tc, base + 2)};
+      sp.radius = sd.get(tc, base + 3);
       double t;
       if (raytrace::hit_sphere(sp, ray, t) && t < bestT) {
         bestT = t;
@@ -133,10 +134,11 @@ struct TxTracer {
         best.t = t;
         best.point = ray.origin + ray.dir * t;
         best.normal = (best.point - sp.center).normalized();
-        best.mat.color = {sd.get(base + 4), sd.get(base + 5), sd.get(base + 6)};
-        best.mat.diffuse = sd.get(base + 7);
-        best.mat.specular = sd.get(base + 8);
-        best.mat.reflect = sd.get(base + 9);
+        best.mat.color = {sd.get(tc, base + 4), sd.get(tc, base + 5),
+                          sd.get(tc, base + 6)};
+        best.mat.diffuse = sd.get(tc, base + 7);
+        best.mat.specular = sd.get(tc, base + 8);
+        best.mat.reflect = sd.get(tc, base + 9);
       }
     }
     for (const raytrace::Plane& pl : s.proto.planes) {
@@ -161,9 +163,10 @@ struct TxTracer {
     auto ld = s.lightData.get();
     for (int i = 0; i < s.numLights; i++) {
       const auto base = static_cast<uint64_t>(i) * 6;
-      const raytrace::Vec3 lightPos{ld.get(base), ld.get(base + 1), ld.get(base + 2)};
-      const raytrace::Vec3 lightColor{ld.get(base + 3), ld.get(base + 4),
-                                      ld.get(base + 5)};
+      const raytrace::Vec3 lightPos{ld.get(tc, base), ld.get(tc, base + 1),
+                                    ld.get(tc, base + 2)};
+      const raytrace::Vec3 lightColor{ld.get(tc, base + 3), ld.get(tc, base + 4),
+                                      ld.get(tc, base + 5)};
       const raytrace::Vec3 toLight = lightPos - hit.point;
       const double dist = toLight.norm();
       const raytrace::Vec3 l = toLight.normalized();
@@ -200,14 +203,15 @@ uint64_t run_sbd_once(const SbdScene& sbdScene, const SunflowConfig& cfg, int th
     std::vector<threads::SbdThread> ts;
     for (int t = 0; t < threads; t++) {
       ts.emplace_back([&] {
+        auto& tc = sbd::context();  // one TLS lookup for the whole worker
         for (;;) {
           // Claim a tile; split right after the contended counter.
-          const int64_t tile = nextTile.get().get(0);
+          const int64_t tile = nextTile.get().get(tc, 0);
           if (tile >= numTiles) break;
-          nextTile.get().set(0, tile + 1);
-          split();
+          nextTile.get().set(tc, 0, tile + 1);
+          split(tc);
           // Every scene read per ray goes through the synchronized path.
-          const TxTracer tracer{sbdScene};
+          const TxTracer tracer{sbdScene, tc};
           const int y0 = static_cast<int>(tile) * cfg.tileRows;
           const int y1 = std::min(cfg.height, y0 + cfg.tileRows);
           auto fb = framebuffer.get();
@@ -216,12 +220,13 @@ uint64_t run_sbd_once(const SbdScene& sbdScene, const SunflowConfig& cfg, int th
               const auto px = raytrace::pack_color(tracer.trace_tx(
                   raytrace::camera_ray(sbdScene.proto, x, y, cfg.width, cfg.height),
                   2));
-              fb.set(static_cast<uint64_t>(y) * static_cast<uint64_t>(cfg.width) +
+              fb.set(tc,
+                     static_cast<uint64_t>(y) * static_cast<uint64_t>(cfg.width) +
                          static_cast<uint64_t>(x),
                      px);
             }
           }
-          split();  // release the tile's pixel and scene locks
+          split(tc);  // release the tile's pixel and scene locks
         }
       });
     }
@@ -230,10 +235,11 @@ uint64_t run_sbd_once(const SbdScene& sbdScene, const SunflowConfig& cfg, int th
   }
   uint64_t sum = 0;
   run_sbd([&] {
+    auto& tc = sbd::context();
     std::vector<uint32_t> image(static_cast<size_t>(cfg.width) * cfg.height);
     auto fb = framebuffer.get();
     for (size_t i = 0; i < image.size(); i++)
-      image[i] = static_cast<uint32_t>(fb.get(i));
+      image[i] = static_cast<uint32_t>(fb.get(tc, i));
     sum = raytrace::image_checksum(image.data(), image.size());
   });
   return sum;

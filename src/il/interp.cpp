@@ -107,13 +107,13 @@ int64_t exec_fn(const Module& m, const Function& f, const int64_t* args, int dep
           ManagedObject* o = as_obj(locals[ins.b]);
           SBD_CHECK_MSG(o != nullptr, "IL null dereference");
           locals[ins.a] =
-              static_cast<int64_t>(runtime::tx_read(o, static_cast<uint32_t>(ins.c)));
+              static_cast<int64_t>(runtime::tx_read(tc, o, static_cast<uint32_t>(ins.c)));
           break;
         }
         case Op::kSetF: {
           ManagedObject* o = as_obj(locals[ins.a]);
           SBD_CHECK_MSG(o != nullptr, "IL null dereference");
-          runtime::tx_write(o, static_cast<uint32_t>(ins.b),
+          runtime::tx_write(tc, o, static_cast<uint32_t>(ins.b),
                             static_cast<uint64_t>(locals[ins.c]));
           break;
         }
@@ -130,12 +130,12 @@ int64_t exec_fn(const Module& m, const Function& f, const int64_t* args, int dep
         case Op::kGetE: {
           ManagedObject* o = as_obj(locals[ins.b]);
           locals[ins.a] = static_cast<int64_t>(
-              runtime::tx_read_elem(o, static_cast<uint64_t>(locals[ins.c])));
+              runtime::tx_read_elem(tc, o, static_cast<uint64_t>(locals[ins.c])));
           break;
         }
         case Op::kSetE: {
           ManagedObject* o = as_obj(locals[ins.a]);
-          runtime::tx_write_elem(o, static_cast<uint64_t>(locals[ins.b]),
+          runtime::tx_write_elem(tc, o, static_cast<uint64_t>(locals[ins.b]),
                                  static_cast<uint64_t>(locals[ins.c]));
           break;
         }

@@ -13,6 +13,11 @@ using runtime::RefArray;
 using runtime::I64Array;
 using runtime::MString;
 
+// Every public method resolves the thread context ONCE and threads it
+// through the tc-taking accessor overloads — collection operations are
+// many field/element accesses back to back, so this is the Table 4
+// "cache the environment pointer" fix applied library-wide.
+
 namespace {
 struct AnyRef : runtime::TypedRef<AnyRef> {
   using TypedRef::TypedRef;
@@ -42,42 +47,49 @@ int64_t MVector::size() const {
 }
 
 ManagedObject* MVector::get(int64_t i) const {
-  auto* data = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, vec::kData));
+  auto& tc = core::tls_context();
+  auto* data = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, vec::kData));
   SBD_CHECK_MSG(i >= 0 && static_cast<uint64_t>(i) < runtime::array_length(data),
                 "MVector index out of range");
-  return reinterpret_cast<ManagedObject*>(runtime::tx_read_elem(data, static_cast<uint64_t>(i)));
+  return reinterpret_cast<ManagedObject*>(
+      runtime::tx_read_elem(tc, data, static_cast<uint64_t>(i)));
 }
 
 void MVector::set(int64_t i, ManagedObject* v) {
-  auto* data = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, vec::kData));
+  auto& tc = core::tls_context();
+  auto* data = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, vec::kData));
   SBD_CHECK_MSG(i >= 0 && static_cast<uint64_t>(i) < runtime::array_length(data),
                 "MVector index out of range");
-  runtime::tx_write_elem(data, static_cast<uint64_t>(i), reinterpret_cast<uint64_t>(v));
+  runtime::tx_write_elem(tc, data, static_cast<uint64_t>(i),
+                         reinterpret_cast<uint64_t>(v));
 }
 
 void MVector::push(ManagedObject* v) {
-  const int64_t n = size();
-  auto* data = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, vec::kData));
+  auto& tc = core::tls_context();
+  const auto n = static_cast<int64_t>(runtime::tx_read(tc, o_, vec::kSize));
+  auto* data = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, vec::kData));
   const auto cap = runtime::array_length(data);
   if (static_cast<uint64_t>(n) == cap) {
     auto bigger = RefArray<AnyRef>::make(cap * 2);
     for (uint64_t i = 0; i < cap; i++)
       bigger.init_set(i, AnyRef(reinterpret_cast<ManagedObject*>(
-                             runtime::tx_read_elem(data, i))));
-    runtime::tx_write(o_, vec::kData, reinterpret_cast<uint64_t>(bigger.raw()));
+                             runtime::tx_read_elem(tc, data, i))));
+    runtime::tx_write(tc, o_, vec::kData, reinterpret_cast<uint64_t>(bigger.raw()));
     data = bigger.raw();
   }
-  runtime::tx_write_elem(data, static_cast<uint64_t>(n), reinterpret_cast<uint64_t>(v));
-  runtime::tx_write(o_, vec::kSize, static_cast<uint64_t>(n + 1));
+  runtime::tx_write_elem(tc, data, static_cast<uint64_t>(n),
+                         reinterpret_cast<uint64_t>(v));
+  runtime::tx_write(tc, o_, vec::kSize, static_cast<uint64_t>(n + 1));
 }
 
 ManagedObject* MVector::pop() {
-  const int64_t n = size();
+  auto& tc = core::tls_context();
+  const auto n = static_cast<int64_t>(runtime::tx_read(tc, o_, vec::kSize));
   if (n == 0) return nullptr;
-  auto* data = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, vec::kData));
+  auto* data = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, vec::kData));
   auto* v = reinterpret_cast<ManagedObject*>(
-      runtime::tx_read_elem(data, static_cast<uint64_t>(n - 1)));
-  runtime::tx_write(o_, vec::kSize, static_cast<uint64_t>(n - 1));
+      runtime::tx_read_elem(tc, data, static_cast<uint64_t>(n - 1)));
+  runtime::tx_write(tc, o_, vec::kSize, static_cast<uint64_t>(n - 1));
   return v;
 }
 
@@ -115,19 +127,19 @@ int64_t MIntMap::size() const {
   return static_cast<int64_t>(runtime::tx_read(o_, imap::kSize));
 }
 
-int64_t MIntMap::find_slot(int64_t key, bool& present) const {
-  const auto cap = static_cast<int64_t>(runtime::tx_read(o_, imap::kCap));
-  auto* keys = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, imap::kKeys));
-  auto* used = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, imap::kUsed));
+int64_t MIntMap::find_slot(core::ThreadContext& tc, int64_t key, bool& present) const {
+  const auto cap = static_cast<int64_t>(runtime::tx_read(tc, o_, imap::kCap));
+  auto* keys = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, imap::kKeys));
+  auto* used = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, imap::kUsed));
   int64_t i = static_cast<int64_t>(mix64(static_cast<uint64_t>(key))) & (cap - 1);
   for (;;) {
-    const bool u = runtime::tx_read_elem(used, static_cast<uint64_t>(i)) != 0;
+    const bool u = runtime::tx_read_elem(tc, used, static_cast<uint64_t>(i)) != 0;
     if (!u) {
       present = false;
       return i;
     }
-    if (static_cast<int64_t>(runtime::tx_read_elem(keys, static_cast<uint64_t>(i))) ==
-        key) {
+    if (static_cast<int64_t>(
+            runtime::tx_read_elem(tc, keys, static_cast<uint64_t>(i))) == key) {
       present = true;
       return i;
     }
@@ -137,64 +149,69 @@ int64_t MIntMap::find_slot(int64_t key, bool& present) const {
 
 bool MIntMap::contains(int64_t key) const {
   bool present;
-  find_slot(key, present);
+  find_slot(core::tls_context(), key, present);
   return present;
 }
 
 ManagedObject* MIntMap::get(int64_t key) const {
+  auto& tc = core::tls_context();
   bool present;
-  const int64_t slot = find_slot(key, present);
+  const int64_t slot = find_slot(tc, key, present);
   if (!present) return nullptr;
-  auto* vals = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, imap::kVals));
+  auto* vals = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, imap::kVals));
   return reinterpret_cast<ManagedObject*>(
-      runtime::tx_read_elem(vals, static_cast<uint64_t>(slot)));
+      runtime::tx_read_elem(tc, vals, static_cast<uint64_t>(slot)));
 }
 
 void MIntMap::put(int64_t key, ManagedObject* value) {
+  auto& tc = core::tls_context();
   bool present;
-  int64_t slot = find_slot(key, present);
-  const auto cap = static_cast<int64_t>(runtime::tx_read(o_, imap::kCap));
-  if (!present && (size() + 1) * 10 >= cap * 7) {
-    rehash();
-    slot = find_slot(key, present);
+  int64_t slot = find_slot(tc, key, present);
+  const auto cap = static_cast<int64_t>(runtime::tx_read(tc, o_, imap::kCap));
+  const auto sz = static_cast<int64_t>(runtime::tx_read(tc, o_, imap::kSize));
+  if (!present && (sz + 1) * 10 >= cap * 7) {
+    rehash(tc);
+    slot = find_slot(tc, key, present);
   }
-  auto* keys = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, imap::kKeys));
-  auto* vals = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, imap::kVals));
-  auto* used = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, imap::kUsed));
-  runtime::tx_write_elem(keys, static_cast<uint64_t>(slot), static_cast<uint64_t>(key));
-  runtime::tx_write_elem(vals, static_cast<uint64_t>(slot),
+  auto* keys = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, imap::kKeys));
+  auto* vals = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, imap::kVals));
+  auto* used = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, imap::kUsed));
+  runtime::tx_write_elem(tc, keys, static_cast<uint64_t>(slot),
+                         static_cast<uint64_t>(key));
+  runtime::tx_write_elem(tc, vals, static_cast<uint64_t>(slot),
                          reinterpret_cast<uint64_t>(value));
   if (!present) {
-    runtime::tx_write_elem(used, static_cast<uint64_t>(slot), 1);
-    runtime::tx_write(o_, imap::kSize, static_cast<uint64_t>(size() + 1));
+    runtime::tx_write_elem(tc, used, static_cast<uint64_t>(slot), 1);
+    const auto sz2 = static_cast<int64_t>(runtime::tx_read(tc, o_, imap::kSize));
+    runtime::tx_write(tc, o_, imap::kSize, static_cast<uint64_t>(sz2 + 1));
   }
 }
 
-void MIntMap::rehash() {
-  const auto cap = static_cast<int64_t>(runtime::tx_read(o_, imap::kCap));
-  auto* keys = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, imap::kKeys));
-  auto* vals = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, imap::kVals));
-  auto* used = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, imap::kUsed));
+void MIntMap::rehash(core::ThreadContext& tc) {
+  const auto cap = static_cast<int64_t>(runtime::tx_read(tc, o_, imap::kCap));
+  auto* keys = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, imap::kKeys));
+  auto* vals = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, imap::kVals));
+  auto* used = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, imap::kUsed));
   const int64_t newCap = cap * 2;
   auto nk = I64Array::make(static_cast<uint64_t>(newCap));
   auto nv = RefArray<AnyRef>::make(static_cast<uint64_t>(newCap));
   auto nu = I64Array::make(static_cast<uint64_t>(newCap));
   for (int64_t i = 0; i < cap; i++) {
-    if (runtime::tx_read_elem(used, static_cast<uint64_t>(i)) == 0) continue;
+    if (runtime::tx_read_elem(tc, used, static_cast<uint64_t>(i)) == 0) continue;
     const auto key =
-        static_cast<int64_t>(runtime::tx_read_elem(keys, static_cast<uint64_t>(i)));
+        static_cast<int64_t>(runtime::tx_read_elem(tc, keys, static_cast<uint64_t>(i)));
     int64_t j = static_cast<int64_t>(mix64(static_cast<uint64_t>(key))) & (newCap - 1);
-    while (nu.get(static_cast<uint64_t>(j)) != 0) j = (j + 1) & (newCap - 1);
+    while (nu.get(tc, static_cast<uint64_t>(j)) != 0) j = (j + 1) & (newCap - 1);
     nk.init_set(static_cast<uint64_t>(j), key);
     nv.init_set(static_cast<uint64_t>(j),
                 AnyRef(reinterpret_cast<ManagedObject*>(
-                    runtime::tx_read_elem(vals, static_cast<uint64_t>(i)))));
+                    runtime::tx_read_elem(tc, vals, static_cast<uint64_t>(i)))));
     nu.init_set(static_cast<uint64_t>(j), 1);
   }
-  runtime::tx_write(o_, imap::kKeys, reinterpret_cast<uint64_t>(nk.raw()));
-  runtime::tx_write(o_, imap::kVals, reinterpret_cast<uint64_t>(nv.raw()));
-  runtime::tx_write(o_, imap::kUsed, reinterpret_cast<uint64_t>(nu.raw()));
-  runtime::tx_write(o_, imap::kCap, static_cast<uint64_t>(newCap));
+  runtime::tx_write(tc, o_, imap::kKeys, reinterpret_cast<uint64_t>(nk.raw()));
+  runtime::tx_write(tc, o_, imap::kVals, reinterpret_cast<uint64_t>(nv.raw()));
+  runtime::tx_write(tc, o_, imap::kUsed, reinterpret_cast<uint64_t>(nu.raw()));
+  runtime::tx_write(tc, o_, imap::kCap, static_cast<uint64_t>(newCap));
 }
 
 // ---------------------------------------------------------------------------
@@ -229,51 +246,57 @@ int64_t MStrMap::size() const {
 }
 
 ManagedObject* MStrMap::get(std::string_view key) const {
-  const auto cap = static_cast<int64_t>(runtime::tx_read(o_, smap::kCap));
-  auto* keys = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, smap::kKeys));
-  auto* vals = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, smap::kVals));
+  auto& tc = core::tls_context();
+  const auto cap = static_cast<int64_t>(runtime::tx_read(tc, o_, smap::kCap));
+  auto* keys = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, smap::kKeys));
+  auto* vals = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, smap::kVals));
   const uint64_t h = fnv1a(key) | 1;  // 0 marks an empty slot
-  auto* hashes = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, smap::kHashes));
+  auto* hashes =
+      reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, smap::kHashes));
   int64_t i = static_cast<int64_t>(h) & (cap - 1);
   for (;;) {
-    const uint64_t sh = runtime::tx_read_elem(hashes, static_cast<uint64_t>(i));
+    const uint64_t sh = runtime::tx_read_elem(tc, hashes, static_cast<uint64_t>(i));
     if (sh == 0) return nullptr;
     if (sh == h) {
       MString k(reinterpret_cast<ManagedObject*>(
-          runtime::tx_read_elem(keys, static_cast<uint64_t>(i))));
+          runtime::tx_read_elem(tc, keys, static_cast<uint64_t>(i))));
       if (k.equals(key))
         return reinterpret_cast<ManagedObject*>(
-            runtime::tx_read_elem(vals, static_cast<uint64_t>(i)));
+            runtime::tx_read_elem(tc, vals, static_cast<uint64_t>(i)));
     }
     i = (i + 1) & (cap - 1);
   }
 }
 
 void MStrMap::put(MString key, ManagedObject* value) {
-  const auto cap = static_cast<int64_t>(runtime::tx_read(o_, smap::kCap));
-  if ((size() + 1) * 10 >= cap * 7) rehash();
-  const auto cap2 = static_cast<int64_t>(runtime::tx_read(o_, smap::kCap));
-  auto* hashes = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, smap::kHashes));
-  auto* keys = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, smap::kKeys));
-  auto* vals = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, smap::kVals));
+  auto& tc = core::tls_context();
+  const auto cap = static_cast<int64_t>(runtime::tx_read(tc, o_, smap::kCap));
+  const auto sz = static_cast<int64_t>(runtime::tx_read(tc, o_, smap::kSize));
+  if ((sz + 1) * 10 >= cap * 7) rehash(tc);
+  const auto cap2 = static_cast<int64_t>(runtime::tx_read(tc, o_, smap::kCap));
+  auto* hashes =
+      reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, smap::kHashes));
+  auto* keys = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, smap::kKeys));
+  auto* vals = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, smap::kVals));
   const uint64_t h = fnv1a(key.view()) | 1;
   int64_t i = static_cast<int64_t>(h) & (cap2 - 1);
   for (;;) {
-    const uint64_t sh = runtime::tx_read_elem(hashes, static_cast<uint64_t>(i));
+    const uint64_t sh = runtime::tx_read_elem(tc, hashes, static_cast<uint64_t>(i));
     if (sh == 0) {
-      runtime::tx_write_elem(hashes, static_cast<uint64_t>(i), h);
-      runtime::tx_write_elem(keys, static_cast<uint64_t>(i),
+      runtime::tx_write_elem(tc, hashes, static_cast<uint64_t>(i), h);
+      runtime::tx_write_elem(tc, keys, static_cast<uint64_t>(i),
                              reinterpret_cast<uint64_t>(key.raw()));
-      runtime::tx_write_elem(vals, static_cast<uint64_t>(i),
+      runtime::tx_write_elem(tc, vals, static_cast<uint64_t>(i),
                              reinterpret_cast<uint64_t>(value));
-      runtime::tx_write(o_, smap::kSize, static_cast<uint64_t>(size() + 1));
+      const auto sz2 = static_cast<int64_t>(runtime::tx_read(tc, o_, smap::kSize));
+      runtime::tx_write(tc, o_, smap::kSize, static_cast<uint64_t>(sz2 + 1));
       return;
     }
     if (sh == h) {
       MString k(reinterpret_cast<ManagedObject*>(
-          runtime::tx_read_elem(keys, static_cast<uint64_t>(i))));
+          runtime::tx_read_elem(tc, keys, static_cast<uint64_t>(i))));
       if (k.equals(key.view())) {
-        runtime::tx_write_elem(vals, static_cast<uint64_t>(i),
+        runtime::tx_write_elem(tc, vals, static_cast<uint64_t>(i),
                                reinterpret_cast<uint64_t>(value));
         return;
       }
@@ -282,32 +305,33 @@ void MStrMap::put(MString key, ManagedObject* value) {
   }
 }
 
-void MStrMap::rehash() {
-  const auto cap = static_cast<int64_t>(runtime::tx_read(o_, smap::kCap));
-  auto* hashes = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, smap::kHashes));
-  auto* keys = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, smap::kKeys));
-  auto* vals = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, smap::kVals));
+void MStrMap::rehash(core::ThreadContext& tc) {
+  const auto cap = static_cast<int64_t>(runtime::tx_read(tc, o_, smap::kCap));
+  auto* hashes =
+      reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, smap::kHashes));
+  auto* keys = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, smap::kKeys));
+  auto* vals = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, smap::kVals));
   const int64_t newCap = cap * 2;
   auto nh = I64Array::make(static_cast<uint64_t>(newCap));
   auto nk = RefArray<MString>::make(static_cast<uint64_t>(newCap));
   auto nv = RefArray<AnyRef>::make(static_cast<uint64_t>(newCap));
   for (int64_t i = 0; i < cap; i++) {
-    const uint64_t h = runtime::tx_read_elem(hashes, static_cast<uint64_t>(i));
+    const uint64_t h = runtime::tx_read_elem(tc, hashes, static_cast<uint64_t>(i));
     if (h == 0) continue;
     int64_t j = static_cast<int64_t>(h) & (newCap - 1);
-    while (nh.get(static_cast<uint64_t>(j)) != 0) j = (j + 1) & (newCap - 1);
+    while (nh.get(tc, static_cast<uint64_t>(j)) != 0) j = (j + 1) & (newCap - 1);
     nh.init_set(static_cast<uint64_t>(j), static_cast<int64_t>(h));
     nk.init_set(static_cast<uint64_t>(j),
                 MString(reinterpret_cast<ManagedObject*>(
-                    runtime::tx_read_elem(keys, static_cast<uint64_t>(i)))));
+                    runtime::tx_read_elem(tc, keys, static_cast<uint64_t>(i)))));
     nv.init_set(static_cast<uint64_t>(j),
                 AnyRef(reinterpret_cast<ManagedObject*>(
-                    runtime::tx_read_elem(vals, static_cast<uint64_t>(i)))));
+                    runtime::tx_read_elem(tc, vals, static_cast<uint64_t>(i)))));
   }
-  runtime::tx_write(o_, smap::kHashes, reinterpret_cast<uint64_t>(nh.raw()));
-  runtime::tx_write(o_, smap::kKeys, reinterpret_cast<uint64_t>(nk.raw()));
-  runtime::tx_write(o_, smap::kVals, reinterpret_cast<uint64_t>(nv.raw()));
-  runtime::tx_write(o_, smap::kCap, static_cast<uint64_t>(newCap));
+  runtime::tx_write(tc, o_, smap::kHashes, reinterpret_cast<uint64_t>(nh.raw()));
+  runtime::tx_write(tc, o_, smap::kKeys, reinterpret_cast<uint64_t>(nk.raw()));
+  runtime::tx_write(tc, o_, smap::kVals, reinterpret_cast<uint64_t>(nv.raw()));
+  runtime::tx_write(tc, o_, smap::kCap, static_cast<uint64_t>(newCap));
 }
 
 // ---------------------------------------------------------------------------
@@ -344,33 +368,35 @@ bool MTaskQueue::empty_check() const {
 }
 
 bool MTaskQueue::put(ManagedObject* v) {
+  auto& tc = core::tls_context();
   const auto cap = static_cast<int64_t>(runtime::read_final(o_, tq::kCap));
-  const int64_t n = size();
+  const auto n = static_cast<int64_t>(runtime::tx_read(tc, o_, tq::kSize));
   if (n == cap) return false;
-  auto* items = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, tq::kItems));
-  const auto tail = static_cast<int64_t>(runtime::tx_read(o_, tq::kTail));
-  runtime::tx_write_elem(items, static_cast<uint64_t>(tail % cap),
+  auto* items = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, tq::kItems));
+  const auto tail = static_cast<int64_t>(runtime::tx_read(tc, o_, tq::kTail));
+  runtime::tx_write_elem(tc, items, static_cast<uint64_t>(tail % cap),
                          reinterpret_cast<uint64_t>(v));
-  runtime::tx_write(o_, tq::kTail, static_cast<uint64_t>(tail + 1));
-  runtime::tx_write(o_, tq::kSize, static_cast<uint64_t>(n + 1));
+  runtime::tx_write(tc, o_, tq::kTail, static_cast<uint64_t>(tail + 1));
+  runtime::tx_write(tc, o_, tq::kSize, static_cast<uint64_t>(n + 1));
   if (runtime::read_final(o_, tq::kUseFlag) != 0 && n == 0)
-    runtime::tx_write(o_, tq::kIsEmpty, 0);  // only on the 0 -> 1 transition
+    runtime::tx_write(tc, o_, tq::kIsEmpty, 0);  // only on the 0 -> 1 transition
   return true;
 }
 
 ManagedObject* MTaskQueue::take() {
   if (empty_check()) return nullptr;
-  const int64_t n = size();
+  auto& tc = core::tls_context();
+  const auto n = static_cast<int64_t>(runtime::tx_read(tc, o_, tq::kSize));
   if (n == 0) return nullptr;  // flag said non-empty, but we raced a taker
   const auto cap = static_cast<int64_t>(runtime::read_final(o_, tq::kCap));
-  auto* items = reinterpret_cast<ManagedObject*>(runtime::tx_read(o_, tq::kItems));
-  const auto head = static_cast<int64_t>(runtime::tx_read(o_, tq::kHead));
+  auto* items = reinterpret_cast<ManagedObject*>(runtime::tx_read(tc, o_, tq::kItems));
+  const auto head = static_cast<int64_t>(runtime::tx_read(tc, o_, tq::kHead));
   auto* v = reinterpret_cast<ManagedObject*>(
-      runtime::tx_read_elem(items, static_cast<uint64_t>(head % cap)));
-  runtime::tx_write(o_, tq::kHead, static_cast<uint64_t>(head + 1));
-  runtime::tx_write(o_, tq::kSize, static_cast<uint64_t>(n - 1));
+      runtime::tx_read_elem(tc, items, static_cast<uint64_t>(head % cap)));
+  runtime::tx_write(tc, o_, tq::kHead, static_cast<uint64_t>(head + 1));
+  runtime::tx_write(tc, o_, tq::kSize, static_cast<uint64_t>(n - 1));
   if (runtime::read_final(o_, tq::kUseFlag) != 0 && n == 1)
-    runtime::tx_write(o_, tq::kIsEmpty, 1);  // only on the 1 -> 0 transition
+    runtime::tx_write(tc, o_, tq::kIsEmpty, 1);  // only on the 1 -> 0 transition
   return v;
 }
 

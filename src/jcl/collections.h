@@ -58,8 +58,8 @@ class MIntMap : public runtime::TypedRef<MIntMap> {
   }
 
  private:
-  void rehash();
-  int64_t find_slot(int64_t key, bool& present) const;
+  void rehash(core::ThreadContext& tc);
+  int64_t find_slot(core::ThreadContext& tc, int64_t key, bool& present) const;
 };
 
 // Hash map from managed strings to managed references.
@@ -84,7 +84,7 @@ class MStrMap : public runtime::TypedRef<MStrMap> {
   }
 
  private:
-  void rehash();
+  void rehash(core::ThreadContext& tc);
 };
 
 // Bounded MPMC task queue (ring buffer). `useEmptyFlag` enables the

@@ -13,6 +13,11 @@
 // directly; (2) locks == UNALLOC -> lazily materialize the lock array;
 // (3) lock word & txn mask != 0 -> already owned; (4) otherwise acquire
 // (CAS fast path, fair queue slow path) and log undo on writes.
+//
+// Every accessor comes in two forms: the primary one takes the caller's
+// cached ThreadContext& (one tls_context() per operation batch, the way
+// the paper's JIT pins the environment pointer in a register), and a
+// thin compatibility wrapper that resolves the TLS itself.
 #pragma once
 
 #include "common/check.h"
@@ -33,8 +38,10 @@ inline void maybe_poll(core::ThreadContext& tc) {
   }
 }
 
-inline core::LockWord* locks_or_materialize(core::ThreadContext& tc, ManagedObject* o) {
-  core::LockWord* lp = o->locks.load(std::memory_order_acquire);
+// Fig. 5 step 2: lazily materialize the lock array if `lp` (the loaded
+// locks pointer) still says UNALLOC. Shared by the read and write paths.
+inline core::LockWord* locks_or_materialize(core::ThreadContext& tc, ManagedObject* o,
+                                            core::LockWord* lp) {
   if (lp == kUnalloc) {
     tc.stats.lockInit++;
     lp = materialize_locks(o);
@@ -54,10 +61,7 @@ inline void tx_lock_read(core::ThreadContext& tc, ManagedObject* o, uint64_t slo
     tc.stats.checkNew++;
     return;
   }
-  if (lp == kUnalloc) {  // (2) lazy lock-structure allocation
-    tc.stats.lockInit++;
-    lp = materialize_locks(o);
-  }
+  lp = detail::locks_or_materialize(tc, o, lp);  // (2)
   core::LockWord* word = lp + lock_index(o, slot);
   const core::LockWord w =
       reinterpret_cast<std::atomic<core::LockWord>*>(word)->load(std::memory_order_acquire);
@@ -79,10 +83,7 @@ inline void tx_lock_write(core::ThreadContext& tc, ManagedObject* o, uint64_t sl
     tc.stats.checkNew++;
     return;  // new instance: no locking, no undo (discarded on abort)
   }
-  if (lp == kUnalloc) {
-    tc.stats.lockInit++;
-    lp = materialize_locks(o);
-  }
+  lp = detail::locks_or_materialize(tc, o, lp);  // (2)
   core::LockWord* word = lp + lock_index(o, slot);
   const core::LockWord w =
       reinterpret_cast<std::atomic<core::LockWord>*>(word)->load(std::memory_order_acquire);
@@ -96,20 +97,27 @@ inline void tx_lock_write(core::ThreadContext& tc, ManagedObject* o, uint64_t sl
 
 // --- Field access -----------------------------------------------------------
 
-inline uint64_t tx_read(ManagedObject* o, uint32_t slot) {
-  core::ThreadContext& tc = core::tls_context();
+inline uint64_t tx_read(core::ThreadContext& tc, ManagedObject* o, uint32_t slot) {
   SBD_DCHECK(!o->is_array() && slot < o->h.cls->slotCount);
   SBD_DCHECK(!o->h.cls->slot_is_final(slot));
   tx_lock_read(tc, o, slot);
   return o->slots()[slot];
 }
 
-inline void tx_write(ManagedObject* o, uint32_t slot, uint64_t v) {
-  core::ThreadContext& tc = core::tls_context();
+inline void tx_write(core::ThreadContext& tc, ManagedObject* o, uint32_t slot,
+                     uint64_t v) {
   SBD_DCHECK(!o->is_array() && slot < o->h.cls->slotCount);
   SBD_DCHECK(!o->h.cls->slot_is_final(slot));
   tx_lock_write(tc, o, slot, &o->slots()[slot]);
   o->slots()[slot] = v;
+}
+
+inline uint64_t tx_read(ManagedObject* o, uint32_t slot) {
+  return tx_read(core::tls_context(), o, slot);
+}
+
+inline void tx_write(ManagedObject* o, uint32_t slot, uint64_t v) {
+  tx_write(core::tls_context(), o, slot, v);
 }
 
 // Final fields: initialized in the constructor (which cannot split), so
@@ -130,22 +138,28 @@ inline void init_write(ManagedObject* o, uint32_t slot, uint64_t v) {
 
 // --- Array element access ----------------------------------------------------
 
-inline uint64_t tx_read_elem(ManagedObject* a, uint64_t idx) {
-  core::ThreadContext& tc = core::tls_context();
+inline uint64_t tx_read_elem(core::ThreadContext& tc, ManagedObject* a, uint64_t idx) {
   SBD_DCHECK(a->is_array() && idx < a->array_length());
   tx_lock_read(tc, a, idx);
   return a->array_data()[idx];
 }
 
-inline void tx_write_elem(ManagedObject* a, uint64_t idx, uint64_t v) {
-  core::ThreadContext& tc = core::tls_context();
+inline void tx_write_elem(core::ThreadContext& tc, ManagedObject* a, uint64_t idx,
+                          uint64_t v) {
   SBD_DCHECK(a->is_array() && idx < a->array_length());
   tx_lock_write(tc, a, idx, &a->array_data()[idx]);
   a->array_data()[idx] = v;
 }
 
-inline int8_t tx_read_i8(ManagedObject* a, uint64_t idx) {
-  core::ThreadContext& tc = core::tls_context();
+inline uint64_t tx_read_elem(ManagedObject* a, uint64_t idx) {
+  return tx_read_elem(core::tls_context(), a, idx);
+}
+
+inline void tx_write_elem(ManagedObject* a, uint64_t idx, uint64_t v) {
+  tx_write_elem(core::tls_context(), a, idx, v);
+}
+
+inline int8_t tx_read_i8(core::ThreadContext& tc, ManagedObject* a, uint64_t idx) {
   SBD_DCHECK(a->is_array() && a->h.cls->elemKind == ElemKind::kI8 &&
              idx < a->array_length());
   tx_lock_read(tc, a, idx);
@@ -154,13 +168,21 @@ inline int8_t tx_read_i8(ManagedObject* a, uint64_t idx) {
 
 // Byte arrays share one lock word per 64-byte block, so undo logging is
 // done at 8-byte granularity on the containing word.
-inline void tx_write_i8(ManagedObject* a, uint64_t idx, int8_t v) {
-  core::ThreadContext& tc = core::tls_context();
+inline void tx_write_i8(core::ThreadContext& tc, ManagedObject* a, uint64_t idx,
+                        int8_t v) {
   SBD_DCHECK(a->is_array() && a->h.cls->elemKind == ElemKind::kI8 &&
              idx < a->array_length());
   uint64_t* wordSlot = a->array_data() + idx / 8;
   tx_lock_write(tc, a, idx, wordSlot);
   a->array_data_i8()[idx] = v;
+}
+
+inline int8_t tx_read_i8(ManagedObject* a, uint64_t idx) {
+  return tx_read_i8(core::tls_context(), a, idx);
+}
+
+inline void tx_write_i8(ManagedObject* a, uint64_t idx, int8_t v) {
+  tx_write_i8(core::tls_context(), a, idx, v);
 }
 
 inline void init_write_elem(ManagedObject* a, uint64_t idx, uint64_t v) {

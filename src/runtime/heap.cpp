@@ -332,23 +332,25 @@ void Heap::mark_from_roots() {
       scan_words(&t->spillCtx, reinterpret_cast<const std::byte*>(&t->spillCtx) +
                                    sizeof(ucontext_t));
     }
-    // Section checkpoint: saved stack bytes + register file.
+    // Section checkpoint: saved stack bytes + register file (raw,
+    // unmangled — reg_area() covers the fast-context or ucontext form).
     const core::Checkpoint& cp = t->sectionStart;
     if (cp.valid()) {
       const auto& buf = cp.stack_copy();
       scan_words(buf.data(), buf.data() + buf.size());
-      scan_words(&cp.context(),
-                 reinterpret_cast<const std::byte*>(&cp.context()) + sizeof(ucontext_t));
+      scan_words(cp.reg_area(), reinterpret_cast<const std::byte*>(cp.reg_area()) +
+                                    cp.reg_area_bytes());
     }
     // Transaction-held references.
-    for (const auto& lr : t->txn.lock_records()) mark_object(lr.obj);
-    for (const auto& ue : t->txn.undo_log()) {
+    t->txn.lock_records().for_each(
+        [&](const core::LockRecord& lr) { mark_object(lr.obj); });
+    t->txn.undo_log().for_each([&](const core::UndoEntry& ue) {
       mark_object(ue.obj);
       // Old values of reference slots must stay alive for rollback.
       ManagedObject* old = find_object(reinterpret_cast<void*>(ue.oldValue));
       if (old) mark_object(old);
-    }
-    for (ManagedObject* o : t->txn.init_log()) mark_object(o);
+    });
+    t->txn.init_log().for_each([&](ManagedObject* o) { mark_object(o); });
     // Thread-local cells may hold references.
     for (uint64_t v : t->txLocalSlots) {
       ManagedObject* o = find_object(reinterpret_cast<void*>(v));

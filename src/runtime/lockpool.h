@@ -1,0 +1,72 @@
+// Size-classed pool for lock-word arrays (paper Fig. 4(a) "locks").
+//
+// materialize_locks runs on the access fast path the first time an
+// escaped instance is touched (Fig. 5 step 2), and the GC sweep frees
+// the array of every dead instance — under churny workloads that is
+// one global-allocator round trip per object lifetime. The pool keeps
+// freed arrays on per-size-class freelists instead:
+//
+//   - classes are powers of two from 1 to 1024 lock words; larger
+//     arrays (huge arrays' element locks) bypass the pool,
+//   - acquire() zeroes the words it hands out (lock words must start
+//     free), release() just pushes,
+//   - each class is capped; beyond the cap arrays go back to the
+//     allocator, so a mass death cannot pin unbounded memory.
+//
+// Table 8 accounting is unchanged by design: the "Locks" gauge keeps
+// counting lock_count(o) * 8 bytes per LIVE materialized instance
+// (object.cpp adjusts it on materialize/release); pooled-but-free
+// arrays are invisible to the gauge.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/fwd.h"
+
+namespace sbd::runtime {
+
+class LockPool {
+ public:
+  static LockPool& instance();
+
+  // Returns an array with at least `nWords` zeroed lock words.
+  core::LockWord* acquire(uint32_t nWords);
+
+  // Returns an array obtained from acquire(nWords) to the pool.
+  void release(core::LockWord* arr, uint32_t nWords);
+
+  struct Stats {
+    uint64_t pooledArrays = 0;  // arrays currently parked on freelists
+    uint64_t pooledBytes = 0;   // their total class-rounded size
+    uint64_t reuses = 0;        // acquires served from a freelist
+    uint64_t allocs = 0;        // acquires that hit the allocator
+  };
+  Stats stats();
+
+  // Frees every parked array (tests and low-memory escape hatch).
+  void trim();
+
+ private:
+  LockPool() = default;
+
+  static constexpr int kNumClasses = 11;         // 2^0 .. 2^10 words
+  static constexpr uint32_t kMaxPooledWords = 1u << (kNumClasses - 1);
+  static constexpr size_t kMaxPerClass = 1024;   // freelist length cap
+
+  // Class index for nWords, or -1 when the request bypasses the pool.
+  static int class_for(uint32_t nWords);
+  static uint32_t class_words(int cls) { return 1u << cls; }
+
+  struct SizeClass {
+    std::mutex mu;
+    std::vector<core::LockWord*> free;
+  };
+  SizeClass classes_[kNumClasses];
+  std::atomic<uint64_t> reuses_{0};
+  std::atomic<uint64_t> allocs_{0};
+};
+
+}  // namespace sbd::runtime

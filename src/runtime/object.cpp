@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "core/stats.h"
+#include "runtime/lockpool.h"
 
 namespace sbd::runtime {
 
@@ -23,14 +24,17 @@ uint32_t lock_index(const ManagedObject* o, uint64_t slot) {
 core::LockWord* materialize_locks(ManagedObject* o) {
   const uint32_t n = lock_count(o);
   SBD_CHECK_MSG(n > 0, "materializing locks for a lock-free instance");
-  auto* fresh = new core::LockWord[n]();
+  auto* fresh = LockPool::instance().acquire(n);
   core::LockWord* expected = kUnalloc;
   if (o->locks.compare_exchange_strong(expected, fresh, std::memory_order_acq_rel)) {
+    // The gauge counts the semantic size (one word per lock) of LIVE
+    // structures only — class rounding and pooled-free arrays are
+    // invisible, keeping Table 8 byte-exact across the pool change.
     core::gauges().lockStructBytes.fetch_add(n * sizeof(core::LockWord),
                                              std::memory_order_relaxed);
     return fresh;
   }
-  delete[] fresh;  // lost the race; use the winner's array
+  LockPool::instance().release(fresh, n);  // lost the race; use the winner's array
   return expected;
 }
 
@@ -42,9 +46,10 @@ void publish_new_object(ManagedObject* o) {
 void release_locks(ManagedObject* o) {
   core::LockWord* lp = o->locks.load(std::memory_order_acquire);
   if (lp != nullptr && lp != kUnalloc) {
-    core::gauges().lockStructBytes.fetch_sub(lock_count(o) * sizeof(core::LockWord),
+    const uint32_t n = lock_count(o);
+    core::gauges().lockStructBytes.fetch_sub(n * sizeof(core::LockWord),
                                              std::memory_order_relaxed);
-    delete[] lp;
+    LockPool::instance().release(lp, n);
   }
   o->locks.store(kUnalloc, std::memory_order_release);
 }

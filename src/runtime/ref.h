@@ -52,6 +52,13 @@ class I64Array : public TypedRef<I64Array> {
   uint64_t length() const { return array_length(o_); }
   int64_t get(uint64_t i) const { return static_cast<int64_t>(tx_read_elem(o_, i)); }
   void set(uint64_t i, int64_t v) { tx_write_elem(o_, i, static_cast<uint64_t>(v)); }
+  // Cached-context variants for hot loops (one TLS lookup per batch).
+  int64_t get(core::ThreadContext& tc, uint64_t i) const {
+    return static_cast<int64_t>(tx_read_elem(tc, o_, i));
+  }
+  void set(core::ThreadContext& tc, uint64_t i, int64_t v) {
+    tx_write_elem(tc, o_, i, static_cast<uint64_t>(v));
+  }
   void init_set(uint64_t i, int64_t v) { init_write_elem(o_, i, static_cast<uint64_t>(v)); }
   static ClassInfo* klass() { return array_class(ElemKind::kI64); }
 };
@@ -74,6 +81,17 @@ class F64Array : public TypedRef<F64Array> {
     __builtin_memcpy(&bits, &v, 8);
     tx_write_elem(o_, i, bits);
   }
+  double get(core::ThreadContext& tc, uint64_t i) const {
+    const uint64_t bits = tx_read_elem(tc, o_, i);
+    double d;
+    __builtin_memcpy(&d, &bits, 8);
+    return d;
+  }
+  void set(core::ThreadContext& tc, uint64_t i, double v) {
+    uint64_t bits;
+    __builtin_memcpy(&bits, &v, 8);
+    tx_write_elem(tc, o_, i, bits);
+  }
   static ClassInfo* klass() { return array_class(ElemKind::kF64); }
 };
 
@@ -86,6 +104,8 @@ class ByteArray : public TypedRef<ByteArray> {
   uint64_t length() const { return array_length(o_); }
   int8_t get(uint64_t i) const { return tx_read_i8(o_, i); }
   void set(uint64_t i, int8_t v) { tx_write_i8(o_, i, v); }
+  int8_t get(core::ThreadContext& tc, uint64_t i) const { return tx_read_i8(tc, o_, i); }
+  void set(core::ThreadContext& tc, uint64_t i, int8_t v) { tx_write_i8(tc, o_, i, v); }
   void init_set(uint64_t i, int8_t v) { init_write_i8(o_, i, v); }
   static ClassInfo* klass() { return array_class(ElemKind::kI8); }
 };
@@ -103,6 +123,12 @@ class RefArray : public TypedRef<RefArray<T>> {
   }
   void set(uint64_t i, T v) {
     tx_write_elem(this->o_, i, reinterpret_cast<uint64_t>(v.raw()));
+  }
+  T get(core::ThreadContext& tc, uint64_t i) const {
+    return T(reinterpret_cast<ManagedObject*>(tx_read_elem(tc, this->o_, i)));
+  }
+  void set(core::ThreadContext& tc, uint64_t i, T v) {
+    tx_write_elem(tc, this->o_, i, reinterpret_cast<uint64_t>(v.raw()));
   }
   void init_set(uint64_t i, T v) {
     init_write_elem(this->o_, i, reinterpret_cast<uint64_t>(v.raw()));
@@ -139,10 +165,18 @@ class RefArray : public TypedRef<RefArray<T>> {
   }                                                                           \
   using TypedRef::TypedRef;
 
-// Synchronized accessors per slot kind.
+// Synchronized accessors per slot kind. Each non-final accessor has a
+// cached-context overload taking the caller's ThreadContext&, so hot
+// loops pay one TLS lookup per batch instead of one per field access.
 #define SBD_FIELD_I64(idx, nm)                                                     \
   int64_t nm() const { return static_cast<int64_t>(::sbd::runtime::tx_read(o_, idx)); } \
   void set_##nm(int64_t v) { ::sbd::runtime::tx_write(o_, idx, static_cast<uint64_t>(v)); } \
+  int64_t nm(::sbd::core::ThreadContext& tc) const {                               \
+    return static_cast<int64_t>(::sbd::runtime::tx_read(tc, o_, idx));             \
+  }                                                                                \
+  void set_##nm(::sbd::core::ThreadContext& tc, int64_t v) {                       \
+    ::sbd::runtime::tx_write(tc, o_, idx, static_cast<uint64_t>(v));               \
+  }                                                                                \
   void init_##nm(int64_t v) { ::sbd::runtime::init_write(o_, idx, static_cast<uint64_t>(v)); }
 
 #define SBD_FIELD_F64(idx, nm)                                       \
@@ -157,6 +191,17 @@ class RefArray : public TypedRef<RefArray<T>> {
     __builtin_memcpy(&bits, &v, 8);                                  \
     ::sbd::runtime::tx_write(o_, idx, bits);                         \
   }                                                                  \
+  double nm(::sbd::core::ThreadContext& tc) const {                  \
+    const uint64_t bits = ::sbd::runtime::tx_read(tc, o_, idx);      \
+    double d;                                                        \
+    __builtin_memcpy(&d, &bits, 8);                                  \
+    return d;                                                        \
+  }                                                                  \
+  void set_##nm(::sbd::core::ThreadContext& tc, double v) {          \
+    uint64_t bits;                                                   \
+    __builtin_memcpy(&bits, &v, 8);                                  \
+    ::sbd::runtime::tx_write(tc, o_, idx, bits);                     \
+  }                                                                  \
   void init_##nm(double v) {                                         \
     uint64_t bits;                                                   \
     __builtin_memcpy(&bits, &v, 8);                                  \
@@ -170,6 +215,13 @@ class RefArray : public TypedRef<RefArray<T>> {
   }                                                                             \
   void set_##nm(RefT v) {                                                       \
     ::sbd::runtime::tx_write(o_, idx, reinterpret_cast<uint64_t>(v.raw()));     \
+  }                                                                             \
+  RefT nm(::sbd::core::ThreadContext& tc) const {                               \
+    return RefT(reinterpret_cast<::sbd::runtime::ManagedObject*>(               \
+        ::sbd::runtime::tx_read(tc, o_, idx)));                                 \
+  }                                                                             \
+  void set_##nm(::sbd::core::ThreadContext& tc, RefT v) {                       \
+    ::sbd::runtime::tx_write(tc, o_, idx, reinterpret_cast<uint64_t>(v.raw())); \
   }                                                                             \
   void init_##nm(RefT v) {                                                      \
     ::sbd::runtime::init_write(o_, idx, reinterpret_cast<uint64_t>(v.raw()));   \

@@ -22,14 +22,30 @@ struct SbdThread::Impl {
 
 namespace {
 
+// Zeroes the dead stack region below the caller before an SBD episode
+// starts. The GC scans thread stacks and checkpoint stack snapshots
+// conservatively, so a stale pointer left in frame slack by a PREVIOUS
+// episode can resurrect an object that is otherwise garbage — and once
+// such a pointer is captured into a checkpoint's stack copy, no number
+// of re-collections can drop it. Clearing the region the episode's
+// frames will occupy makes retention independent of frame layout.
+__attribute__((noinline)) void scrub_dead_stack() {
+  char scrub[128 * 1024];
+  __builtin_memset(scrub, 0, sizeof(scrub));
+  asm volatile("" ::"r"(scrub) : "memory");  // keep the memset
+}
+
 // Owns the stack bytes the checkpoint anchor points into: every frame
 // that takes or restores checkpoints is a callee of this function, so
 // restores never write beyond the pad (which is dead data).
+//
+// The pad must be fully zeroed: the bytes below the anchor are captured
+// into every checkpoint's stack snapshot, and an uninitialized pad can
+// hold a stale pointer spilled there by a previous episode's frames.
 __attribute__((noinline)) void run_sections_with_anchor(
     core::ThreadContext& tc, const std::function<void()>& body) {
   volatile char pad[1024];
-  pad[0] = 0;
-  pad[1023] = 0;
+  for (size_t i = 0; i < sizeof(pad); i++) pad[i] = 0;
   tc.engine.set_anchor_at(const_cast<char*>(&pad[512]));
   core::begin_initial_section(tc);
   const int savedDepth = tc.canSplitDepth;
@@ -43,6 +59,7 @@ __attribute__((noinline)) void run_sections_with_anchor(
 void thread_entry(const std::shared_ptr<SbdThread::Impl>& impl) {
   auto& tc = core::tls_context();
   runtime::Heap::instance().attach_current_thread_here();  // GC scan bound
+  scrub_dead_stack();
   run_sections_with_anchor(tc, impl->body);
   {
     std::lock_guard<std::mutex> lk(impl->mu);
@@ -118,6 +135,7 @@ void run_sbd(const std::function<void()>& body) {
   auto& tc = core::tls_context();
   SBD_CHECK_MSG(!tc.txn.active(), "run_sbd cannot nest");
   runtime::Heap::instance().attach_current_thread_here();
+  scrub_dead_stack();
   run_sections_with_anchor(tc, body);
 }
 

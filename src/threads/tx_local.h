@@ -16,10 +16,12 @@
 namespace sbd::threads {
 
 namespace detail {
-inline uint64_t& local_slot(uint32_t index) {
-  auto& tc = core::tls_context();
+inline uint64_t& local_slot(core::ThreadContext& tc, uint32_t index) {
   while (tc.txLocalSlots.size() <= index) tc.txLocalSlots.push_back(0);
   return tc.txLocalSlots[index];
+}
+inline uint64_t& local_slot(uint32_t index) {
+  return local_slot(core::tls_context(), index);
 }
 inline uint32_t next_local_index() {
   static std::atomic<uint32_t> counter{0};
@@ -36,8 +38,8 @@ class TxLocalI64 {
   int64_t get() const { return static_cast<int64_t>(detail::local_slot(index_)); }
 
   void set(int64_t v) {
-    uint64_t& slot = detail::local_slot(index_);
-    auto& tc = core::tls_context();
+    auto& tc = core::tls_context();  // one TLS lookup for slot + undo log
+    uint64_t& slot = detail::local_slot(tc, index_);
     if (tc.txn.active()) tc.txn.log_undo(nullptr, &slot, slot);
     slot = static_cast<uint64_t>(v);
   }
@@ -70,8 +72,8 @@ class TxLocalRef {
   }
 
   void set(RefT v) {
-    uint64_t& slot = detail::local_slot(index_);
-    auto& tc = core::tls_context();
+    auto& tc = core::tls_context();  // one TLS lookup for slot + undo log
+    uint64_t& slot = detail::local_slot(tc, index_);
     if (tc.txn.active()) tc.txn.log_undo(nullptr, &slot, slot);
     slot = reinterpret_cast<uint64_t>(v.raw());
   }

@@ -71,12 +71,11 @@ TEST(LockWord, FieldsDoNotOverlap) {
 }
 
 TEST(LockWord, ReadGrabbable) {
-  const LockWord me = txn_mask(1);
-  EXPECT_TRUE(read_grabbable(0, me));
-  EXPECT_TRUE(read_grabbable(with_member(0, txn_mask(2)), me));  // shared read
-  EXPECT_FALSE(read_grabbable(with_writer(with_member(0, txn_mask(2))), me));
-  EXPECT_FALSE(read_grabbable(with_upgrader(with_member(0, txn_mask(2))), me));
-  EXPECT_FALSE(read_grabbable(with_queue(0, 5), me));  // fairness: queue attached
+  EXPECT_TRUE(read_grabbable(0));
+  EXPECT_TRUE(read_grabbable(with_member(0, txn_mask(2))));  // shared read
+  EXPECT_FALSE(read_grabbable(with_writer(with_member(0, txn_mask(2)))));
+  EXPECT_FALSE(read_grabbable(with_upgrader(with_member(0, txn_mask(2)))));
+  EXPECT_FALSE(read_grabbable(with_queue(0, 5)));  // fairness: queue attached
 }
 
 TEST(LockWord, WriteGrabbable) {
