@@ -18,6 +18,7 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "common/timing.h"
+#include "core/obs.h"
 
 namespace {
 
@@ -122,6 +123,10 @@ int main(int argc, char** argv) {
   const auto ops = static_cast<uint64_t>(opts.get_int("ops", 400000));
   const auto instances = static_cast<uint64_t>(opts.get_int("instances", 100000));
   const std::string jsonPath = opts.get_str("json", "");
+  // --trace measures WITH the obs tracer recording (the perf-smoke
+  // acceptance gate: Acq&Rls must stay within 5% of the untraced run).
+  const bool trace = opts.get_int("trace", 0) != 0 || sbd::obs::enabled();
+  if (trace) sbd::obs::set_enabled(true);
 
   std::printf("=== Table 6: microbenchmark, %llu ops over %llu instances ===\n\n",
               static_cast<unsigned long long>(ops),
@@ -182,5 +187,11 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("\nwrote %s\n", jsonPath.c_str());
   }
+  if (trace) {
+    std::printf("trace: recorded=%llu dropped=%llu\n",
+                static_cast<unsigned long long>(sbd::obs::recorded()),
+                static_cast<unsigned long long>(sbd::obs::dropped()));
+  }
+  sbd::obs::export_metrics_if_requested();  // honors SBD_METRICS_JSON
   return 0;
 }

@@ -4,51 +4,48 @@
 // a programmer to incrementally add concurrency allows to resolve
 // these issues mechanically by looking through this log."
 //
-// When enabled, the STM records an event for every contended lock wait
-// and every resolved deadlock, with the transaction ids involved — the
-// raw material for deciding where to put the next split.
+// This is now a thin compatibility wrapper over the sbd::obs tracing +
+// metrics layer (core/obs.h), the way core/inject.h wraps core/fault.h.
+// Events go into per-thread lock-free ring buffers, carry symbolic lock
+// identity (class:field via the runtime class registry, stable under
+// lock-pool address recycling), and aggregate into the obs metrics
+// snapshot. The original DebugLog API is preserved for callers and
+// tests; new call sites should use sbd::obs directly.
 #pragma once
 
-#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/obs.h"
+
 namespace sbd::core {
 
-enum class DebugEventKind : uint8_t {
-  kBlocked,    // a transaction entered a wait queue
-  kGranted,    // ...and eventually got the lock
-  kDeadlock,   // a cycle was detected; `other` is the chosen victim
-  kAborted,    // a transaction rolled back and will retry
-  kWatchdogStall,  // watchdog saw a transaction blocked past the threshold
-  kIdPoolStall,    // id-pool acquire exceeded a timeout slice (§3.3 pressure)
-  kEscalated,      // retry budget exhausted; section now runs serialized
-};
-
-struct DebugEvent {
-  DebugEventKind kind;
-  int txnId;            // who the event happened to
-  int other;            // victim id (kDeadlock), -1 otherwise
-  uint64_t lockAddr;    // identity of the contended lock word (0 if n/a)
-  bool wantWrite;
-  uint64_t timestampNanos;
-};
+using DebugEventKind = obs::EventKind;
+using DebugEvent = obs::Event;
 
 class DebugLog {
  public:
-  static void enable(bool on);
-  static bool enabled();
+  static void enable(bool on) { obs::set_enabled(on); }
+  static bool enabled() { return obs::enabled(); }
 
+  // Records an unsymbolized event (identity by raw address only).
+  // Engine-internal call sites use obs::record_lock_event instead,
+  // which captures the class:field identity at record time.
   static void record(DebugEventKind kind, int txnId, int other, const void* lock,
-                     bool wantWrite);
+                     bool wantWrite) {
+    obs::record(kind, txnId, other, lock, nullptr, obs::kNoIndex, wantWrite);
+  }
 
-  // Drains and returns all recorded events (oldest first).
-  static std::vector<DebugEvent> drain();
-  static size_t size();
+  // Drains and returns all recorded events (oldest first, merged across
+  // threads by timestamp).
+  static std::vector<DebugEvent> drain() { return obs::drain(); }
+  static size_t size() { return obs::approx_size(); }
 
   // Renders events into the per-lock contention summary the paper's
   // workflow needs: "which locks block whom, how often".
-  static std::string summarize(const std::vector<DebugEvent>& events);
+  static std::string summarize(const std::vector<DebugEvent>& events) {
+    return obs::summarize(events);
+  }
 };
 
 }  // namespace sbd::core

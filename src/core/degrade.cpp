@@ -4,7 +4,7 @@
 #include <condition_variable>
 #include <mutex>
 
-#include "core/debug.h"
+#include "core/obs.h"
 #include "core/transaction.h"
 
 namespace sbd::core::degrade {
@@ -51,7 +51,8 @@ void on_abort(ThreadContext& tc) {
   tc.holdsSerialToken = true;
   tc.stats.escalations++;
   gEscalations.fetch_add(1, std::memory_order_relaxed);
-  DebugLog::record(DebugEventKind::kEscalated, tc.txn.id(), -1, nullptr, false);
+  obs::record(obs::EventKind::kEscalated, tc.txn.id(), -1, nullptr, nullptr,
+              obs::kNoIndex, false);
 }
 
 void on_commit(ThreadContext& tc) {

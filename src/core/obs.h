@@ -1,0 +1,179 @@
+// sbd::obs — the always-on tracing + metrics layer grown out of the
+// paper's §6 debug mode ("log the blocked threads, and deadlock
+// situations ... resolve these issues mechanically by looking through
+// this log").
+//
+// Design constraints, in order:
+//
+//   1. The record path must be cheap enough to leave enabled under the
+//      chaos and perf-smoke runs: no global lock, no allocation. Each
+//      thread appends to its own bounded SPSC ring buffer; on overflow
+//      events are dropped and counted, never blocked on.
+//   2. Lock identity must be symbolic. runtime/lockpool recycles
+//      lock-word arrays across unrelated objects, so a raw word address
+//      misattributes contention the moment an array is reused. Events
+//      capture (ClassInfo*, lock index) at record time — while the
+//      object is pinned by the wait queue — and summaries key on
+//      "Class.field" / "Class[index]", which stays stable forever.
+//   3. Everything aggregates into one metrics snapshot: StatsCounters,
+//      GlobalGauges, lock-pool stats, watchdog/degrade counters, and a
+//      top-N hot-lock contention table, exported as JSON via the
+//      SBD_METRICS_JSON env var or the API below.
+//
+// core/debug.h remains as a thin compatibility wrapper over this
+// header (the way core/inject.h wraps core/fault.h).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fwd.h"
+
+namespace sbd::runtime {
+struct ClassInfo;  // defined in runtime/class_info.h
+}
+
+namespace sbd::obs {
+
+// The first seven kinds mirror the original §6 debug mode (and keep
+// their order: core/debug.h aliases this enum); the rest are the
+// duration events of the always-on tracer.
+enum class EventKind : uint8_t {
+  kBlocked,        // a transaction entered a wait queue
+  kGranted,        // ...and eventually got the lock (duration = wait latency)
+  kDeadlock,       // a cycle was resolved; `other` is the chosen victim
+  kAborted,        // a transaction rolled back and will retry
+  kWatchdogStall,  // watchdog saw a transaction blocked past the threshold
+  kIdPoolStall,    // id-pool acquire exceeded a timeout slice (§3.3 pressure)
+  kEscalated,      // retry budget exhausted; section now runs serialized
+  kCommit,         // sampled: one commit_section, duration = commit work
+  kSplit,          // sampled: one split_section, duration incl. the commit
+  kGcPause,        // one GC stop-the-world, duration = full pause
+  kSafepointStop,  // one stop_world, duration = time to stop all threads
+};
+
+// Marks "lock index unknown" in symbolized events (e.g. an event that
+// only carries a raw address, or a word outside its object's array).
+inline constexpr uint32_t kNoIndex = 0xFFFFFFFFu;
+
+struct Event {
+  EventKind kind;
+  bool wantWrite;
+  int txnId;   // who the event happened to (-1 if n/a)
+  int other;   // victim id (kDeadlock), -1 otherwise
+  uint32_t lockIndex;                // lock-word index in the instance, or kNoIndex
+  const runtime::ClassInfo* cls;     // symbolic identity; null if unknown
+  uint64_t lockAddr;                 // raw word address (0 if n/a); NOT stable
+  uint64_t timestampNanos;
+  uint64_t durationNanos;            // kGranted: wait latency; k*Pause/kCommit/kSplit
+};
+
+// Symbolic identity of one lock word, resolved against the instance
+// that owns it (the runtime class registry supplies the names).
+struct LockSym {
+  const runtime::ClassInfo* cls = nullptr;
+  uint32_t index = kNoIndex;
+};
+
+namespace detail {
+extern std::atomic<bool> gEnabled;
+extern thread_local uint32_t tDurTick;
+}  // namespace detail
+
+// Duration events (kCommit/kSplit) are sampled 1-in-64 so the per-split
+// tracer cost stays within the perf-smoke budget; contention events are
+// never sampled (they live on the slow path already).
+inline constexpr uint32_t kDurationSamplePeriod = 64;
+
+// Enable/disable recording. Also auto-enabled at startup when the
+// SBD_TRACE environment variable is set to a non-"0" value.
+void set_enabled(bool on);
+inline bool enabled() { return detail::gEnabled.load(std::memory_order_relaxed); }
+
+// True on every kDurationSamplePeriod-th call per thread while enabled;
+// callers bracket their duration measurement with it.
+inline bool sample_duration() {
+  if (!enabled()) return false;
+  if (++detail::tDurTick < kDurationSamplePeriod) return false;
+  detail::tDurTick = 0;
+  return true;
+}
+
+// Resolves word -> (class, lock index) against the owning instance.
+// Safe to call wherever the object is pinned (lock held, wait queue
+// bound, or single-threaded); returns an address-free identity.
+LockSym symbolize(const runtime::ManagedObject* obj, const core::LockWord* word);
+
+// Records one event into the calling thread's ring (lock-free; drops
+// and counts on overflow). No-op while disabled.
+void record(EventKind kind, int txnId, int other, const void* lockAddr,
+            const runtime::ClassInfo* cls, uint32_t lockIndex, bool wantWrite,
+            uint64_t durationNanos = 0);
+
+// Convenience: record + symbolize in one step for lock-carrying events.
+void record_lock_event(EventKind kind, int txnId, int other,
+                       const runtime::ManagedObject* obj, const core::LockWord* word,
+                       bool wantWrite, uint64_t durationNanos = 0);
+
+// Drains every thread's ring and returns the merged trace, oldest
+// first (merged by timestamp).
+std::vector<Event> drain();
+
+// Events currently buffered across all rings (approximate: producers
+// keep appending while we sum).
+size_t approx_size();
+
+// Totals since process start: events recorded into rings, and events
+// dropped to ring overflow (the bounded-buffer "never block" policy).
+uint64_t recorded();
+uint64_t dropped();
+
+// Human-readable identity of an event's lock: "Class.field",
+// "Class[index]", or the raw address when no symbol was captured.
+std::string lock_name(const runtime::ClassInfo* cls, uint32_t index, uint64_t addr);
+std::string lock_name(const Event& e);
+
+// Renders events into the per-lock contention summary the paper's
+// workflow needs: "which locks block whom, how often" — keyed on
+// symbolic identity, with average granted-wait latency when available.
+std::string summarize(const std::vector<Event>& events);
+
+// --- Hot-lock contention table ---------------------------------------------
+// A small fixed-size concurrent table bumped on every kBlocked record,
+// independent of the rings (surviving drains), so the watchdog and the
+// metrics export can rank contended locks without consuming the trace.
+
+struct HotLock {
+  std::string name;
+  uint64_t blocks = 0;
+  uint64_t writes = 0;
+};
+
+// Top `n` contended locks, most blocked first.
+std::vector<HotLock> top_contended(size_t n);
+
+// One-line report ("top contended: A.x 12x(8w), B[3] 5x") or "" when
+// the table is empty; the watchdog appends this to stall diagnoses.
+std::string hot_report(size_t n);
+
+// Clears the contention table (tests, measurement windows).
+void reset_contention();
+
+// --- Metrics snapshot --------------------------------------------------------
+
+// Aggregates StatsCounters + GlobalGauges + lock-pool, watchdog,
+// degradation, and tracer counters, plus the top-10 hot locks, into a
+// JSON object.
+std::string metrics_json();
+
+// Writes metrics_json() to `path`; returns false on I/O error.
+bool export_metrics(const std::string& path);
+
+// Honors the SBD_METRICS_JSON environment variable if set (called by
+// tools/sbd_chaos and the benches at exit). Returns true if a file was
+// written.
+bool export_metrics_if_requested();
+
+}  // namespace sbd::obs

@@ -2,6 +2,8 @@
 #include <mutex>
 
 #include "common/check.h"
+#include "common/timing.h"
+#include "core/obs.h"
 #include "core/transaction.h"
 
 namespace sbd::core {
@@ -55,6 +57,7 @@ void Safepoint::park(ThreadContext& tc) {
 }
 
 void Safepoint::stop_world(ThreadContext& requester) {
+  const uint64_t t0 = obs::enabled() ? now_nanos() : 0;
   std::unique_lock<std::mutex> lk(gSpMu);
   gSpCv.wait(lk, [] { return gStopper == nullptr; });
   gStopper = &requester;
@@ -70,9 +73,12 @@ void Safepoint::stop_world(ThreadContext& requester) {
           static_cast<int>(ThreadState::kRunning))
         allStopped = false;
     });
-    if (allStopped) return;  // keep gSpMu? no — release; world stays stopped via flag
+    if (allStopped) break;  // gSpMu releases; world stays stopped via flag
     gSpCv.wait_for(lk, std::chrono::microseconds(100));
   }
+  if (t0 != 0)
+    obs::record(obs::EventKind::kSafepointStop, requester.txn.id(), -1, nullptr,
+                nullptr, obs::kNoIndex, false, now_nanos() - t0);
 }
 
 void Safepoint::resume_world(ThreadContext& requester) {

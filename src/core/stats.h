@@ -74,6 +74,14 @@ struct StatsCounters {
   }
 };
 
+// Field-completeness guard: add(), diff(), and obs::metrics_json()
+// enumerate every counter by hand. Adding a field without updating all
+// three silently loses data — trip this assert instead.
+static_assert(sizeof(StatsCounters) == 14 * sizeof(uint64_t),
+              "StatsCounters changed: update add(), diff(), and "
+              "obs::metrics_json() to cover the new field(s), then bump "
+              "this count");
+
 // Globally shared gauges that are not per-thread.
 struct GlobalGauges {
   std::atomic<uint64_t> lockStructBytes{0};  // live lock structures (Table 8 "Locks")

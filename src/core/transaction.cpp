@@ -7,10 +7,10 @@
 
 #include "common/check.h"
 #include "common/timing.h"
-#include "core/debug.h"
 #include "core/degrade.h"
 #include "core/fault.h"
 #include "core/inject.h"
+#include "core/obs.h"
 
 namespace sbd::runtime {
 // Defined in runtime/object.cpp: flips a freshly committed instance's
@@ -169,7 +169,8 @@ void acquire_txn_id(ThreadContext& tc) {
       // Timed out: diagnose, then keep waiting. The pool guarantees
       // eventual progress (every id holder commits or aborts), so the
       // loop is the fallback path, not a spin.
-      DebugLog::record(DebugEventKind::kIdPoolStall, -1, -1, nullptr, false);
+      obs::record(obs::EventKind::kIdPoolStall, -1, -1, nullptr, nullptr,
+                  obs::kNoIndex, false);
       if (!reported) {
         reported = true;
         std::fprintf(stderr, "[sbd] txn-id acquire stalled; %s\n",
@@ -225,6 +226,10 @@ void begin_initial_section(ThreadContext& tc) {
 
 void commit_section(ThreadContext& tc) {
   SBD_CHECK(tc.txn.active());
+  // Sampled commit-duration tracing (1-in-kDurationSamplePeriod): one
+  // relaxed load + a TLS tick on the unsampled path, cheap enough to
+  // stay enabled under the perf-smoke run.
+  const uint64_t traceStart = obs::sample_duration() ? now_nanos() : 0;
   // 0. Sample the transaction footprint BEFORE resources flush their
   //    buffers (Table 8 accounting measures the section's peak state).
   account_section_end(tc, /*committed=*/true);
@@ -246,15 +251,24 @@ void commit_section(ThreadContext& tc) {
   // 5. Graceful degradation: the section made it through — reset the
   //    retry budget and give up the serialization token if escalated.
   degrade::on_commit(tc);
+  if (traceStart != 0)
+    obs::record(obs::EventKind::kCommit, tc.txn.id(), -1, nullptr, nullptr,
+                obs::kNoIndex, false, now_nanos() - traceStart);
 }
 
 void split_section(ThreadContext& tc) {
   // Failure injection (core/inject.h): abort instead of committing.
   if (!tc.txn.inevitable() && should_inject_abort()) abort_and_restart(tc);
+  const uint64_t traceStart = obs::sample_duration() ? now_nanos() : 0;
   commit_section(tc);
   Safepoint::poll(tc);
   tc.txn.startSeq_ = TxnManager::instance().next_seq();
   clear_section_state(tc);
+  // Recorded BEFORE the checkpoint: an abort-restore re-arrival in
+  // checkpoint_section must not replay the record.
+  if (traceStart != 0)
+    obs::record(obs::EventKind::kSplit, tc.txn.id(), -1, nullptr, nullptr,
+                obs::kNoIndex, false, now_nanos() - traceStart);
   checkpoint_section(tc);
 }
 
@@ -294,13 +308,17 @@ void abort_and_restart(ThreadContext& tc) {
   TxnManager::instance().digest_slot(tc.txn.id()).store(0, std::memory_order_release);
   clear_section_state(tc);
   tc.stats.aborts++;
-  DebugLog::record(DebugEventKind::kAborted, tc.txn.id(), -1, nullptr, false);
+  obs::record(obs::EventKind::kAborted, tc.txn.id(), -1, nullptr, nullptr,
+              obs::kNoIndex, false);
   // 4. Graceful degradation: over the retry budget this blocks for the
   //    global serialization token (we hold no locks here) so the retry
   //    runs serialized instead of feeding the abort storm.
   degrade::on_abort(tc);
   if (tc.holdsSerialToken) {
-    // Serialized retries don't race each other; skip the backoff.
+    // Serialized retry: the token holder cannot race other escalated
+    // sections, so it skips the backoff and restarts immediately.
+    // restore() rebuilds the stack and never returns — steps 5 and 6
+    // below are unreachable on this path.
     Safepoint::poll(tc);
     tc.engine.restore(tc.sectionStart);
   }
@@ -314,7 +332,7 @@ void abort_and_restart(ThreadContext& tc) {
     std::this_thread::sleep_for(std::chrono::nanoseconds(tc.retrySleepNanos));
   }
   Safepoint::poll(tc);
-  // 5. Rebuild the stack and re-execute from the section start.
+  // 6. Rebuild the stack and re-execute from the section start.
   tc.engine.restore(tc.sectionStart);
 }
 
@@ -351,7 +369,6 @@ bool update_digest_and_resolve(ThreadContext& tc, WaitQueue& q, LockWord w) {
   // Cycle: abort the youngest *waiting* member (deterministic policy —
   // the oldest transaction always makes progress, §3.2).
   tc.stats.deadlocksResolved++;
-  DebugLog::record(DebugEventKind::kDeadlock, myId, -1, nullptr, false);
   int victim = -1;
   uint64_t victimSeq = 0;
   if (!tc.txn.inevitable()) {
@@ -371,6 +388,12 @@ bool update_digest_and_resolve(ThreadContext& tc, WaitQueue& q, LockWord w) {
     }
   }
   if (victim < 0) return false;  // all waiters inevitable (transient view)
+  // Recorded AFTER victim selection, so the event carries the chosen
+  // victim and the contended lock (the DebugEvent::other contract) —
+  // the §6 workflow needs to know who lost, not just that a cycle
+  // happened. q's binding is stable here: we hold q.mu and are enqueued.
+  obs::record_lock_event(obs::EventKind::kDeadlock, myId, victim, q.boundObj,
+                         q.boundWord, false);
   if (victim == myId) return true;
   mgr.request_abort(victim, victimSeq);
   return false;
@@ -400,16 +423,24 @@ void slow_acquire(ThreadContext& tc, runtime::ManagedObject* obj, LockWord* word
   const int myId = tc.txn.id();
   const LockWord myBit = tc.txn.mask();
   tc.stats.contendedAcquires++;
-  DebugLog::record(DebugEventKind::kBlocked, myId, -1, word, wantWrite || upgrader);
+  obs::record_lock_event(obs::EventKind::kBlocked, myId, -1, obj, word,
+                         wantWrite || upgrader);
   const uint64_t blockStart = now_nanos();
   tc.lockWaitSinceNanos.store(blockStart, std::memory_order_release);
 
-  auto finish_blocked_accounting = [&] {
+  // `granted` is false on the paths that leave the wait to abort: those
+  // record kAborted downstream, and a kGranted there would claim a lock
+  // acquisition that never happened.
+  auto finish_blocked_accounting = [&](bool granted) {
     tc.lockWaitSinceNanos.store(0, std::memory_order_release);
     const uint64_t dt = now_nanos() - blockStart;
     tc.blockedNanos += dt;
     tc.sectionBlockedNanos += dt;
-    DebugLog::record(DebugEventKind::kGranted, myId, -1, word, wantWrite || upgrader);
+    // The granted event carries the wait latency, so the trace answers
+    // "how long did this lock make us wait", not only "how often".
+    if (granted)
+      obs::record_lock_event(obs::EventKind::kGranted, myId, -1, obj, word,
+                             wantWrite || upgrader, dt);
   };
 
   for (;;) {  // (re)attach to the word's queue
@@ -419,7 +450,7 @@ void slow_acquire(ThreadContext& tc, runtime::ManagedObject* obj, LockWord* word
       if (sole_member(w, myBit) && !has_writer(w)) {
         LockWord target = without_upgrader(with_writer(w));
         if (aw->compare_exchange_weak(w, target, std::memory_order_acq_rel)) {
-          finish_blocked_accounting();
+          finish_blocked_accounting(/*granted=*/true);
           return;
         }
         tc.stats.casFailures++;
@@ -429,7 +460,7 @@ void slow_acquire(ThreadContext& tc, runtime::ManagedObject* obj, LockWord* word
       if (aw->compare_exchange_weak(w, with_member(w, myBit), std::memory_order_acq_rel)) {
         tc.txn.record_lock(obj, word, false);
         tc.stats.acqRls++;
-        finish_blocked_accounting();
+        finish_blocked_accounting(/*granted=*/true);
         return;
       }
       tc.stats.casFailures++;
@@ -439,7 +470,7 @@ void slow_acquire(ThreadContext& tc, runtime::ManagedObject* obj, LockWord* word
                                     std::memory_order_acq_rel)) {
         tc.txn.record_lock(obj, word, true);
         tc.stats.acqRls++;
-        finish_blocked_accounting();
+        finish_blocked_accounting(/*granted=*/true);
         return;
       }
       tc.stats.casFailures++;
@@ -499,7 +530,7 @@ void slow_acquire(ThreadContext& tc, runtime::ManagedObject* obj, LockWord* word
       if (tc.txn.abort_requested()) {
         leave_queue();
         lk.unlock();
-        finish_blocked_accounting();
+        finish_blocked_accounting(/*granted=*/false);
         abort_and_restart(tc);
       }
       LockWord w2 = aw->load(std::memory_order_acquire);
@@ -533,14 +564,14 @@ void slow_acquire(ThreadContext& tc, runtime::ManagedObject* obj, LockWord* word
           tc.txn.record_lock(obj, word, wantWrite);
           tc.stats.acqRls++;
         }
-        finish_blocked_accounting();
+        finish_blocked_accounting(/*granted=*/true);
         return;
       }
       if (attempted) tc.stats.casFailures++;
       if (update_digest_and_resolve(tc, q, w2)) {
         leave_queue();
         lk.unlock();
-        finish_blocked_accounting();
+        finish_blocked_accounting(/*granted=*/false);
         abort_and_restart(tc);
       }
       {

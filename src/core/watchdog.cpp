@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "common/timing.h"
-#include "core/debug.h"
+#include "core/obs.h"
 #include "core/queue.h"
 #include "core/transaction.h"
 
@@ -69,14 +69,18 @@ void check_wait(const WaitSnap& s, uint64_t now, std::map<uint64_t, StallRec>& r
     gStalls.fetch_add(1, std::memory_order_relaxed);
     const void* lockAddr = nullptr;
     size_t queueDepth = 0;
+    obs::LockSym sym{};
     if (!s.idPool && s.q) {
+      // Symbolize under q->mu: the binding (boundObj, boundWord) is
+      // stable only while the queue mutex pins it.
       std::lock_guard<std::mutex> lk(s.q->mu);
       lockAddr = s.q->boundWord;
       queueDepth = s.q->waiters.size();
+      sym = obs::symbolize(s.q->boundObj, s.q->boundWord);
     }
-    DebugLog::record(s.idPool ? DebugEventKind::kIdPoolStall
-                              : DebugEventKind::kWatchdogStall,
-                     s.txnId, -1, lockAddr, false);
+    obs::record(s.idPool ? obs::EventKind::kIdPoolStall
+                         : obs::EventKind::kWatchdogStall,
+                s.txnId, -1, lockAddr, sym.cls, sym.index, false);
     if (gOpts.logToStderr) {
       if (s.idPool) {
         std::fprintf(stderr, "[sbd-watchdog] thread %llu blocked %.1f ms for a txn id; %s\n",
@@ -84,10 +88,19 @@ void check_wait(const WaitSnap& s, uint64_t now, std::map<uint64_t, StallRec>& r
                      TxnManager::instance().id_pool().diagnose().c_str());
       } else {
         std::fprintf(stderr,
-                     "[sbd-watchdog] txn %d blocked %.1f ms on lock %p (queue depth %zu, "
+                     "[sbd-watchdog] txn %d blocked %.1f ms on lock %s (queue depth %zu, "
                      "%llu consecutive aborts)\n",
-                     s.txnId, waited / 1e6, lockAddr, queueDepth,
+                     s.txnId, waited / 1e6,
+                     obs::lock_name(sym.cls, sym.index,
+                                    reinterpret_cast<uint64_t>(lockAddr))
+                         .c_str(),
+                     queueDepth,
                      static_cast<unsigned long long>(s.consecAborts));
+        // Hottest locks so far — points straight at the contended
+        // class:field when the stall is contention, not a bug.
+        const std::string hot = obs::hot_report(5);
+        if (!hot.empty())
+          std::fprintf(stderr, "[sbd-watchdog] %s\n", hot.c_str());
       }
     }
   }

@@ -4,7 +4,9 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/timing.h"
 #include "core/fault.h"
+#include "core/obs.h"
 #include "core/stats.h"
 #include "core/transaction.h"
 
@@ -260,6 +262,7 @@ ManagedObject* Heap::find_object(const void* p) {
 
 void Heap::collect() {
   core::ThreadContext& tc = core::tls_context();
+  const uint64_t t0 = obs::enabled() ? now_nanos() : 0;
   core::Safepoint::stop_world(tc);
   {
     std::lock_guard<std::mutex> lk(heapMu_);
@@ -272,6 +275,9 @@ void Heap::collect() {
     core::gauges().heapBytes.store(stats_.liveBytes, std::memory_order_relaxed);
   }
   core::Safepoint::resume_world(tc);
+  if (t0 != 0)
+    obs::record(obs::EventKind::kGcPause, tc.txn.id(), -1, nullptr, nullptr,
+                obs::kNoIndex, false, now_nanos() - t0);
 }
 
 void Heap::mark_object(ManagedObject* o) {

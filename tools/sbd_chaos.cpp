@@ -31,6 +31,7 @@
 #include "common/rng.h"
 #include "core/degrade.h"
 #include "core/fault.h"
+#include "core/obs.h"
 #include "core/transaction.h"
 #include "core/watchdog.h"
 #include "db/db.h"
@@ -391,6 +392,9 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
 
   SBD_ATTACH_THREAD();
+  // Tracing stays on for the whole run: chaos doubles as the proof that
+  // the lock-free record path survives every injected fault.
+  obs::set_enabled(true);
   core::Watchdog::Options wo;
   wo.stallThresholdNanos = 2'000'000'000;
   wo.abortVictimAfterNanos = 8'000'000'000;
@@ -412,6 +416,11 @@ int main(int argc, char** argv) {
               " victims=%" PRIu64 ")\n",
               n, cfg.rate, cfg.threads, core::Watchdog::stalls_detected(),
               core::Watchdog::victims_aborted());
+  std::printf("trace: recorded=%" PRIu64 " dropped=%" PRIu64 "\n", obs::recorded(),
+              obs::dropped());
+  const std::string hot = obs::hot_report(5);
+  if (!hot.empty()) std::printf("%s\n", hot.c_str());
+  obs::export_metrics_if_requested();  // honors SBD_METRICS_JSON
   core::Watchdog::stop();
   return 0;
 }
