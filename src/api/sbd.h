@@ -20,6 +20,7 @@
 #include "core/transaction.h"
 #include "runtime/field_access.h"
 #include "runtime/heap.h"
+#include "runtime/lockplan.h"
 #include "runtime/mstring.h"
 #include "runtime/ref.h"
 #include "runtime/statics.h"
@@ -101,6 +102,29 @@ void on_commit(Fn&& action) {
     tc->txn.defer(std::function<void()>(std::forward<Fn>(action)));
   else
     action();
+}
+
+// --- Lock granularity (runtime/lockplan) ------------------------------------
+
+using runtime::LockGranularity;
+
+// Pins `cls` (a T::klass() pointer) to a granularity and applies it,
+// stopping the world if instances already exist. Returns false if the
+// switch was vetoed by live lock state (locks held right now); the pin
+// sticks, and under SBD_LOCK_GRANULARITY=adaptive the controller keeps
+// retrying it. Process-wide defaults come from SBD_LOCK_GRANULARITY.
+inline bool set_lock_granularity(runtime::ClassInfo* cls, LockGranularity g,
+                                 uint32_t stripes = 4) {
+  return runtime::lockplan::set_class_map(cls, runtime::lockplan::make_map(g, stripes));
+}
+
+// Soft preference: when the adaptive controller finds `cls` cold, it
+// coarsens to this map instead of the default single-object lock. Has
+// no effect under fixed modes, so annotated code stays bit-for-bit
+// faithful when SBD_LOCK_GRANULARITY is unset.
+inline void hint_lock_granularity(runtime::ClassInfo* cls, LockGranularity g,
+                                  uint32_t stripes = 4) {
+  runtime::lockplan::hint_class_map(cls, runtime::lockplan::make_map(g, stripes));
 }
 
 // Re-exports for user code.

@@ -14,6 +14,7 @@
 #include "core/transaction.h"
 #include "core/watchdog.h"
 #include "runtime/class_info.h"
+#include "runtime/lockplan.h"
 #include "runtime/lockpool.h"
 #include "runtime/object.h"
 
@@ -49,12 +50,16 @@ struct Ring {
 };
 
 std::mutex gRingMu;                // registration + drain only, never record
+// Both registries are leaked on purpose: threads joined from atexit
+// handlers (e.g. the adaptive lock-plan controller) run their TLS
+// ~RingHolder after static destruction has begun, and a function-local
+// static vector would already be gone by then.
 std::vector<Ring*>& all_rings() {
-  static std::vector<Ring*> v;
+  static auto& v = *new std::vector<Ring*>();
   return v;
 }
 std::vector<Ring*>& free_rings() {  // retired by exited threads, adoptable
-  static std::vector<Ring*> v;
+  static auto& v = *new std::vector<Ring*>();
   return v;
 }
 
@@ -426,6 +431,11 @@ std::string metrics_json() {
   os << "},\n  \"lockpool\": {";
   os << "\"pooledArrays\": " << lp.pooledArrays << ", \"pooledBytes\": " << lp.pooledBytes
      << ", \"reuses\": " << lp.reuses << ", \"allocs\": " << lp.allocs;
+  os << "},\n  \"lockplan\": {";
+  const runtime::lockplan::Counters lpc = runtime::lockplan::counters();
+  os << "\"mode\": \"" << runtime::lockplan::mode_name() << "\""
+     << ", \"cycles\": " << lpc.cycles << ", \"replans\": " << lpc.replans
+     << ", \"vetoed\": " << lpc.vetoed << ", \"stops\": " << lpc.stops;
   os << "},\n  \"watchdog\": {";
   os << "\"stalls\": " << core::Watchdog::stalls_detected()
      << ", \"victims\": " << core::Watchdog::victims_aborted();

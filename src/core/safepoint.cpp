@@ -58,8 +58,17 @@ void Safepoint::park(ThreadContext& tc) {
 
 void Safepoint::stop_world(ThreadContext& requester) {
   const uint64_t t0 = obs::enabled() ? now_nanos() : 0;
+  // While queueing behind another stopper (GC, sampler, lock re-plan),
+  // the requester must count as stopped, or the incumbent waits on us
+  // forever while we wait on it: spill and go safe for the wait.
+  spill(requester);
+  requester.state.store(static_cast<int>(ThreadState::kSafe),
+                        std::memory_order_release);
   std::unique_lock<std::mutex> lk(gSpMu);
+  gSpCv.notify_all();
   gSpCv.wait(lk, [] { return gStopper == nullptr; });
+  requester.state.store(static_cast<int>(ThreadState::kRunning),
+                        std::memory_order_release);
   gStopper = &requester;
   stopRequested_.store(true, std::memory_order_release);
   // Wait until every other registered thread is parked or in a safe

@@ -17,6 +17,11 @@ namespace sbd::runtime {
 // lock pointer from nullptr (new in this transaction) to UNALLOC (lock
 // structures not yet allocated) — the init-log commit action of §3.3.
 void publish_new_object(ManagedObject* obj);
+namespace lockplan {
+// Defined in runtime/lockplan.cpp: per-class contention signal for the
+// adaptive lock-granularity controller (independent of obs tracing).
+void note_contention(ManagedObject* obj);
+}  // namespace lockplan
 }  // namespace sbd::runtime
 
 namespace sbd::core {
@@ -423,6 +428,7 @@ void slow_acquire(ThreadContext& tc, runtime::ManagedObject* obj, LockWord* word
   const int myId = tc.txn.id();
   const LockWord myBit = tc.txn.mask();
   tc.stats.contendedAcquires++;
+  runtime::lockplan::note_contention(obj);
   obs::record_lock_event(obs::EventKind::kBlocked, myId, -1, obj, word,
                          wantWrite || upgrader);
   const uint64_t blockStart = now_nanos();

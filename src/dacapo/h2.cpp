@@ -153,6 +153,14 @@ uint64_t run_sbd_once(const H2Config& cfg, int threads) {
   // array — this is what produces H2's small but nonzero lock-operation
   // counts in Table 7.
   runtime::GlobalRoot<runtime::I64Array> perThread;
+  // Each worker bumps its own counter slot, so per-field locks never
+  // conflict — which is exactly what makes long[] look cold to the
+  // adaptive planner. Striping (instead of a single object lock) keeps
+  // distinct threads on distinct words after coarsening; if collapsing
+  // ever induces real contention, the planner scorches the class back
+  // to field granularity.
+  hint_lock_granularity(runtime::array_class(runtime::ElemKind::kI64),
+                        LockGranularity::kStriped, 8);
   run_sbd([&] { perThread.set(runtime::I64Array::make(static_cast<uint64_t>(threads))); });
   {
     std::vector<threads::SbdThread> ts;

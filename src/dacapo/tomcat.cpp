@@ -149,6 +149,11 @@ uint64_t run_sbd_once(const TomcatConfig& cfg, int threads) {
     SBD_CLASS(TomcatCounter, SBD_SLOT("n"))
     SBD_FIELD_I64(0, n)
   };
+  // Session counters are single-slot, so object == field here; the
+  // explicit hint pins that down against future slot additions and
+  // exercises the per-benchmark annotation path. No-op unless
+  // SBD_LOCK_GRANULARITY=adaptive.
+  hint_lock_granularity(Counter::klass(), LockGranularity::kObject);
 
   std::vector<threads::SbdThread> servers;
   for (int t = 0; t < threads; t++) {

@@ -74,32 +74,36 @@ void FnBuilder::new_arr(int dst, runtime::ElemKind kind, int lenLocal) {
   i.kind = kind;
 }
 
-void FnBuilder::getf(int dst, int base, int field) {
+void FnBuilder::getf(int dst, int base, int field, runtime::ClassInfo* cls) {
   auto& i = emit(Op::kGetF);
   i.a = dst;
   i.b = base;
   i.c = field;
+  i.cls = cls;
 }
 
-void FnBuilder::setf(int base, int field, int src) {
+void FnBuilder::setf(int base, int field, int src, runtime::ClassInfo* cls) {
   auto& i = emit(Op::kSetF);
   i.a = base;
   i.b = field;
   i.c = src;
+  i.cls = cls;
 }
 
-void FnBuilder::gete(int dst, int base, int idx) {
+void FnBuilder::gete(int dst, int base, int idx, runtime::ClassInfo* cls) {
   auto& i = emit(Op::kGetE);
   i.a = dst;
   i.b = base;
   i.c = idx;
+  i.cls = cls;
 }
 
-void FnBuilder::sete(int base, int idx, int src) {
+void FnBuilder::sete(int base, int idx, int src, runtime::ClassInfo* cls) {
   auto& i = emit(Op::kSetE);
   i.a = base;
   i.b = idx;
   i.c = src;
+  i.cls = cls;
 }
 
 void FnBuilder::len(int dst, int base) {

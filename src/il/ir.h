@@ -125,10 +125,14 @@ class FnBuilder {
   void bin(int dst, BinOp op, int lhs, int rhs);
   void new_obj(int dst, runtime::ClassInfo* cls);
   void new_arr(int dst, runtime::ElemKind kind, int lenLocal);
-  void getf(int dst, int base, int field);
-  void setf(int base, int field, int src);
-  void gete(int dst, int base, int idx);
-  void sete(int base, int idx, int src);
+  // Accessors take an optional static class annotation (the bytecode
+  // transformer knows the declared type); it rides on the Lock the
+  // transformer inserts and lets the optimizer dedupe locks through the
+  // class's LockMap (two slots -> one mapped lock index).
+  void getf(int dst, int base, int field, runtime::ClassInfo* cls = nullptr);
+  void setf(int base, int field, int src, runtime::ClassInfo* cls = nullptr);
+  void gete(int dst, int base, int idx, runtime::ClassInfo* cls = nullptr);
+  void sete(int base, int idx, int src, runtime::ClassInfo* cls = nullptr);
   void len(int dst, int base);
   void call(int dst, const std::string& callee, std::vector<int> args,
             bool allowSplit = false);

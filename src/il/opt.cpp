@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "runtime/lockplan.h"
 
 namespace sbd::il {
 
@@ -21,9 +22,45 @@ uint64_t fact_key(int base, int fieldOrIdx, bool isElem, LockMode mode) {
          (isElem ? 2u : 0u) | (mode == LockMode::kWrite ? 1u : 0u);
 }
 
+// Facts keyed through a class's LockMap: "this transaction holds the
+// lock WORD that cls's map assigns to mapped index `lockIdx` of the
+// object in local `base`". These let locks on *different* slots that
+// share a word dedupe statically — but only READ locks may be
+// eliminated this way: eliminating a write lock would also skip its
+// undo logging (the no-lock store never reaches the runtime's
+// coarse-map owned-path re-log), and there is no covering undo entry
+// for a slot that was never written before.
+struct MappedFact {
+  int base;
+  uint32_t lockIdx;
+  bool write;
+  const runtime::ClassInfo* cls;
+  bool operator<(const MappedFact& o) const {
+    if (base != o.base) return base < o.base;
+    if (lockIdx != o.lockIdx) return lockIdx < o.lockIdx;
+    if (write != o.write) return write < o.write;
+    return cls < o.cls;
+  }
+  bool operator==(const MappedFact& o) const {
+    return base == o.base && lockIdx == o.lockIdx && write == o.write && cls == o.cls;
+  }
+};
+
+// A class's LockMap may be consulted at optimization time only if it
+// cannot change afterwards: any fixed SBD_LOCK_GRANULARITY mode, or a
+// pinned class under adaptive (pins are permanent). A later
+// set_lock_granularity() call invalidates modules optimized before it
+// — the documented JIT-style contract (SEMANTICS.md).
+bool map_is_static(const runtime::ClassInfo* cls) {
+  using runtime::lockplan::Mode;
+  return runtime::lockplan::mode() != Mode::kAdaptive ||
+         cls->lockMapPinned.load(std::memory_order_relaxed);
+}
+
 struct State {
   bool top = true;  // "unvisited": identity of the intersection meet
   std::set<uint64_t> facts;
+  std::set<MappedFact> mapped;
   std::set<int> newLocals;  // locals known to hold this-transaction-new objects
 
   bool meet(const State& other) {  // returns true if changed
@@ -31,6 +68,7 @@ struct State {
     if (top) {
       top = false;
       facts = other.facts;
+      mapped = other.mapped;
       newLocals = other.newLocals;
       return true;
     }
@@ -38,6 +76,14 @@ struct State {
     for (auto it = facts.begin(); it != facts.end();) {
       if (!other.facts.count(*it)) {
         it = facts.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = mapped.begin(); it != mapped.end();) {
+      if (!other.mapped.count(*it)) {
+        it = mapped.erase(it);
         changed = true;
       } else {
         ++it;
@@ -65,10 +111,20 @@ struct State {
       else
         ++it;
     }
+    // Mapped facts never reference an index local (element form exists
+    // only for object maps, where the index is irrelevant), so only
+    // the base can die.
+    for (auto it = mapped.begin(); it != mapped.end();) {
+      if (it->base == l)
+        it = mapped.erase(it);
+      else
+        ++it;
+    }
   }
 
   void clear_all() {
     facts.clear();
+    mapped.clear();
     newLocals.clear();
   }
 
@@ -79,6 +135,13 @@ struct State {
         facts.count(fact_key(base, fieldOrIdx, isElem, LockMode::kRead)))
       return true;
     return false;
+  }
+
+  // Read coverage through the LockMap: a held word — read- or
+  // write-locked — covers any read it protects.
+  bool covers_mapped(int base, uint32_t lockIdx, const runtime::ClassInfo* cls) const {
+    return mapped.count(MappedFact{base, lockIdx, true, cls}) ||
+           mapped.count(MappedFact{base, lockIdx, false, cls});
   }
 };
 
@@ -116,11 +179,29 @@ void transfer(State& st, const Instr& i, const Module& m, bool* eliminate) {
     case Op::kLock: {
       const bool isElem = i.c >= 0;
       const int loc = isElem ? i.c : i.b;
-      if (st.covers(i.a, loc, isElem, i.mode)) {
+      // Mapped lock index, when the static class annotation and its
+      // immutable LockMap determine it: any map kind for field locks
+      // (constant field index), object maps for element locks (every
+      // index hits word 0 regardless of the index local's value).
+      int mappedIdx = -1;
+      if (i.cls != nullptr && map_is_static(i.cls)) {
+        const runtime::LockMap map = i.cls->lock_map();
+        if (!isElem)
+          mappedIdx = static_cast<int>(map.index(static_cast<uint32_t>(loc)));
+        else if (map.kind == runtime::LockMap::kObject)
+          mappedIdx = 0;
+      }
+      bool covered = st.covers(i.a, loc, isElem, i.mode);
+      if (!covered && mappedIdx >= 0 && i.mode == LockMode::kRead)
+        covered = st.covers_mapped(i.a, static_cast<uint32_t>(mappedIdx), i.cls);
+      if (covered) {
         if (eliminate) *eliminate = true;
         return;  // no new fact; the covering fact remains
       }
       st.facts.insert(fact_key(i.a, loc, isElem, i.mode));
+      if (mappedIdx >= 0)
+        st.mapped.insert(MappedFact{i.a, static_cast<uint32_t>(mappedIdx),
+                                    i.mode == LockMode::kWrite, i.cls});
       return;
     }
     case Op::kSplit:
@@ -148,9 +229,18 @@ void transfer(State& st, const Instr& i, const Module& m, bool* eliminate) {
         if (static_cast<int>(k >> 32) == i.b)
           copied.push_back((k & 0xFFFFFFFFull) | (static_cast<uint64_t>(i.a) << 32));
       }
+      std::vector<MappedFact> copiedMapped;
+      for (const MappedFact& mf : st.mapped) {
+        if (mf.base == i.b) {
+          MappedFact c = mf;
+          c.base = i.a;
+          copiedMapped.push_back(c);
+        }
+      }
       st.kill_local(i.a);
       if (i.a != i.b) {
         for (uint64_t k : copied) st.facts.insert(k);
+        for (const MappedFact& mf : copiedMapped) st.mapped.insert(mf);
         if (srcNew) st.newLocals.insert(i.a);
       }
       return;
@@ -202,7 +292,7 @@ OptStats eliminate_redundant_locks(Function& f, const Module& m) {
         for (const Instr& i : f.blocks[b].instrs) transfer(o, i, m, nullptr);
       // Detect change.
       if (o.top != out[b].top || o.facts != out[b].facts ||
-          o.newLocals != out[b].newLocals) {
+          o.mapped != out[b].mapped || o.newLocals != out[b].newLocals) {
         out[b] = std::move(o);
         changed = true;
       }

@@ -15,6 +15,7 @@ void insert_locks(Function& f) {
           lock.b = i.c;  // field index
           lock.c = -1;   // field, not element
           lock.mode = LockMode::kRead;
+          lock.cls = i.cls;  // static type annotation, for LockMap dedupe
           out.push_back(lock);
           Instr acc = i;
           acc.op = Op::kGetFNl;
@@ -28,6 +29,7 @@ void insert_locks(Function& f) {
           lock.b = i.b;  // field index
           lock.c = -1;
           lock.mode = LockMode::kWrite;
+          lock.cls = i.cls;
           out.push_back(lock);
           Instr acc = i;
           acc.op = Op::kSetFNl;
@@ -41,6 +43,7 @@ void insert_locks(Function& f) {
           lock.b = -1;
           lock.c = i.c;  // index local
           lock.mode = LockMode::kRead;
+          lock.cls = i.cls;
           out.push_back(lock);
           Instr acc = i;
           acc.op = Op::kGetENl;
@@ -54,6 +57,7 @@ void insert_locks(Function& f) {
           lock.b = -1;
           lock.c = i.b;  // index local
           lock.mode = LockMode::kWrite;
+          lock.cls = i.cls;
           out.push_back(lock);
           Instr acc = i;
           acc.op = Op::kSetENl;

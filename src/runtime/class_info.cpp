@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "runtime/heap.h"
+#include "runtime/lockplan.h"
 #include "runtime/object.h"
 
 namespace sbd::runtime {
@@ -35,8 +36,13 @@ ClassInfo* register_class(const std::string& name, const std::vector<SlotDesc>& 
   if (ci->staticSlotCount > 0) {
     // The statics holder is itself a managed object so static accesses
     // get field-granularity locking. It is registered pre-transactionally.
+    // (Its synthetic ::statics class is not in the class list, so it
+    // keeps the default field map forever.)
     ci->statics = Heap::instance().alloc_statics_holder(ci);
   }
+  // Applies the SBD_LOCK_GRANULARITY initial map; must precede
+  // publication — no instance may be allocated under the default map.
+  lockplan::on_class_registered(ci);
   std::lock_guard<std::mutex> lk(gClassMu);
   class_list().push_back(ci);
   return ci;
@@ -48,34 +54,24 @@ void for_each_class(const std::function<void(ClassInfo*)>& fn) {
 }
 
 ClassInfo* array_class(ElemKind kind) {
-  static ClassInfo* i8 = [] {
+  // Array classes go through the same registration hook and class list
+  // as named classes: the lockplan controller must see them (array
+  // singletons are its most profitable coarsening targets), and the GC
+  // statics walk tolerates their statics == nullptr.
+  auto make = [](const char* name, ElemKind k) {
     auto* c = new ClassInfo();
-    c->name = "byte[]";
+    c->name = name;
     c->isArray = true;
-    c->elemKind = ElemKind::kI8;
+    c->elemKind = k;
+    lockplan::on_class_registered(c);
+    std::lock_guard<std::mutex> lk(gClassMu);
+    class_list().push_back(c);
     return c;
-  }();
-  static ClassInfo* i64 = [] {
-    auto* c = new ClassInfo();
-    c->name = "long[]";
-    c->isArray = true;
-    c->elemKind = ElemKind::kI64;
-    return c;
-  }();
-  static ClassInfo* f64 = [] {
-    auto* c = new ClassInfo();
-    c->name = "double[]";
-    c->isArray = true;
-    c->elemKind = ElemKind::kF64;
-    return c;
-  }();
-  static ClassInfo* ref = [] {
-    auto* c = new ClassInfo();
-    c->name = "Object[]";
-    c->isArray = true;
-    c->elemKind = ElemKind::kRef;
-    return c;
-  }();
+  };
+  static ClassInfo* i8 = make("byte[]", ElemKind::kI8);
+  static ClassInfo* i64 = make("long[]", ElemKind::kI64);
+  static ClassInfo* f64 = make("double[]", ElemKind::kF64);
+  static ClassInfo* ref = make("Object[]", ElemKind::kRef);
   switch (kind) {
     case ElemKind::kI8:
       return i8;

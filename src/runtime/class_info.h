@@ -8,6 +8,7 @@
 // transactional.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -35,6 +36,93 @@ struct SlotDesc {
   bool isFinal = false;
 };
 
+// LockMap — the slot→lock-index policy of a class: which lock word
+// protects slot i (field index, array element index, or byte-array
+// block index). The paper fixes this at identity (one lock per
+// field/element, Fig. 4); making it a per-class policy turns the
+// granularity into a seam the runtime/lockplan controller can tune.
+//
+//   field      identity map — the faithful Fig. 4 default
+//   striped(k) natural index mod k — k lock words per instance
+//   object     one lock word for the whole instance
+//
+// The map talks in *natural* lock indices (what lock_index() computed
+// before this seam existed): fields and word-array elements map 1:1,
+// byte arrays are first reduced to 64-byte blocks (kI8LockStride).
+struct LockMap {
+  enum Kind : uint8_t { kField = 0, kStriped = 1, kObject = 2 };
+  Kind kind = kField;
+  uint32_t stripes = 1;  // meaningful for kStriped only; >= 1
+
+  static LockMap field_map() { return LockMap{}; }
+  static LockMap striped_map(uint32_t k) {
+    return LockMap{kStriped, k < 1 ? 1u : k};
+  }
+  static LockMap object_map() { return LockMap{kObject, 1}; }
+
+  bool identity() const { return kind == kField; }
+
+  // Lock words an instance with `naturalCount` natural indices needs.
+  uint32_t width(uint32_t naturalCount) const {
+    switch (kind) {
+      case kField:
+        return naturalCount;
+      case kStriped:
+        return naturalCount < stripes ? naturalCount : stripes;
+      case kObject:
+      default:
+        return naturalCount > 0 ? 1 : 0;
+    }
+  }
+
+  // Mapped index of natural index `i`; always < width(n) for i < n.
+  uint32_t index(uint32_t naturalIndex) const {
+    switch (kind) {
+      case kField:
+        return naturalIndex;
+      case kStriped:
+        return naturalIndex % stripes;
+      case kObject:
+      default:
+        return 0;
+    }
+  }
+
+  // Packed form stored in ClassInfo::lockMapBits. field_map() packs to
+  // 0 so a zero-initialized class starts at the faithful default.
+  uint64_t bits() const {
+    return static_cast<uint64_t>(kind) |
+           (kind == kStriped ? static_cast<uint64_t>(stripes) << 8 : 0);
+  }
+  static LockMap from_bits(uint64_t b) {
+    LockMap m;
+    m.kind = static_cast<Kind>(b & 0xFF);
+    m.stripes = m.kind == kStriped ? static_cast<uint32_t>(b >> 8) : 1;
+    if (m.stripes < 1) m.stripes = 1;
+    return m;
+  }
+
+  bool operator==(const LockMap& o) const {
+    return kind == o.kind && (kind != kStriped || stripes == o.stripes);
+  }
+  bool operator!=(const LockMap& o) const { return !(*this == o); }
+
+  std::string to_string() const {
+    switch (kind) {
+      case kField:
+        return "field";
+      case kStriped:
+        return "striped:" + std::to_string(stripes);
+      case kObject:
+      default:
+        return "object";
+    }
+  }
+};
+
+// Sentinel for "no granularity hint set" (ClassInfo::lockMapHintBits).
+inline constexpr uint64_t kNoLockHint = ~0ULL;
+
 struct ClassInfo {
   std::string name;
   uint32_t slotCount = 0;
@@ -49,6 +137,26 @@ struct ClassInfo {
   ManagedObject* statics = nullptr;
   uint32_t staticSlotCount = 0;
   uint64_t staticRefMask = 0;
+
+  // --- Lock-granularity policy (runtime/lockplan) ---------------------
+  // The current slot→lock map, packed (LockMap::bits). Mutated only
+  // before any instance of the class exists or with the world stopped
+  // (lockplan re-plan), so a relaxed load on the access fast path is
+  // sound: no running transaction can ever observe the map mid-change.
+  std::atomic<uint64_t> lockMapBits{0};  // 0 == LockMap::field_map().bits()
+  // set_lock_granularity() pinned the map; the adaptive controller
+  // keeps re-applying the pinned target and never overrides it.
+  std::atomic<bool> lockMapPinned{false};
+  // Preferred coarse map for the adaptive controller's cold-class
+  // choice (hint_lock_granularity), or kNoLockHint.
+  std::atomic<uint64_t> lockMapHintBits{kNoLockHint};
+  // Bumped by the contended-acquire slow path; the adaptive
+  // controller's contention signal (independent of obs tracing).
+  std::atomic<uint64_t> contentionEvents{0};
+
+  LockMap lock_map() const {
+    return LockMap::from_bits(lockMapBits.load(std::memory_order_relaxed));
+  }
 
   bool slot_is_final(uint32_t slot) const { return (finalMask >> slot) & 1; }
   bool slot_is_ref(uint32_t slot) const { return (refMask >> slot) & 1; }

@@ -89,7 +89,13 @@ inline void tx_lock_write(core::ThreadContext& tc, ManagedObject* o, uint64_t sl
       reinterpret_cast<std::atomic<core::LockWord>*>(word)->load(std::memory_order_acquire);
   if (core::is_member(w, tc.txn.mask()) && core::has_writer(w)) {
     tc.stats.checkOwned++;
-    return;  // already write-locked: old value already in the undo log
+    // Identity map: an owned write lock implies THIS slot's old value
+    // was logged when the lock was acquired. Coarse maps break that
+    // implication (the word covers several slots), so log the slot on
+    // every owned hit — duplicates are safe, the undo replay is
+    // newest-first and re-applies the oldest value last.
+    if (!o->h.cls->lock_map().identity()) tc.txn.log_undo(o, valueSlot, *valueSlot);
+    return;
   }
   core::LockEngine::acquire_write(tc, o, word);
   tc.txn.log_undo(o, valueSlot, *valueSlot);

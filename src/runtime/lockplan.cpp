@@ -1,0 +1,334 @@
+#include "runtime/lockplan.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "core/stats.h"
+#include "core/transaction.h"
+#include "runtime/heap.h"
+#include "runtime/lockpool.h"
+#include "runtime/object.h"
+
+namespace sbd::runtime::lockplan {
+
+namespace {
+
+struct Config {
+  Mode mode = Mode::kField;
+  uint32_t stripes = 4;
+};
+
+Config parse_env() {
+  Config cfg;
+  const char* e = std::getenv("SBD_LOCK_GRANULARITY");
+  if (!e || !*e) return cfg;
+  const std::string s(e);
+  if (s == "field") {
+    cfg.mode = Mode::kField;
+  } else if (s == "object") {
+    cfg.mode = Mode::kObject;
+  } else if (s == "adaptive") {
+    cfg.mode = Mode::kAdaptive;
+  } else if (s.rfind("striped", 0) == 0) {
+    cfg.mode = Mode::kStriped;
+    const auto colon = s.find(':');
+    if (colon != std::string::npos) {
+      const long k = std::strtol(s.c_str() + colon + 1, nullptr, 10);
+      if (k >= 1 && k <= (1 << 20)) cfg.stripes = static_cast<uint32_t>(k);
+    }
+  } else {
+    std::fprintf(stderr, "sbd: unknown SBD_LOCK_GRANULARITY '%s'; using field\n", e);
+  }
+  return cfg;
+}
+
+const Config& config() {
+  static const Config cfg = parse_env();
+  return cfg;
+}
+
+uint64_t interval_ms() {
+  static const uint64_t v = [] {
+    const char* e = std::getenv("SBD_LOCKPLAN_INTERVAL_MS");
+    const long x = e ? std::strtol(e, nullptr, 10) : 0;
+    return x > 0 ? static_cast<uint64_t>(x) : uint64_t{10};
+  }();
+  return v;
+}
+
+std::atomic<uint64_t> gCycles{0};
+std::atomic<uint64_t> gReplans{0};
+std::atomic<uint64_t> gVetoed{0};
+std::atomic<uint64_t> gStops{0};
+
+// Serializes re-planners (controller thread, set_class_map, tests).
+// Waiters block in a safe region — the holder may be about to stop the
+// world, and a waiter that looks "running" would deadlock it.
+std::mutex gReplanMu;
+
+// Controller memory, guarded by gReplanMu. "scorched" = the class has
+// shown contention at least once; it is reverted to field granularity
+// and never re-coarsened (hysteresis against coarsen/revert flapping).
+struct AdaptState {
+  uint64_t lastContention = 0;
+  bool scorched = false;
+};
+std::unordered_map<ClassInfo*, AdaptState> gAdapt;
+
+std::unique_lock<std::mutex> lock_replan_safely(core::ThreadContext& tc) {
+  std::unique_lock<std::mutex> lk(gReplanMu, std::try_to_lock);
+  if (!lk.owns_lock()) {
+    core::Safepoint::SafeScope safe(tc);
+    lk.lock();
+  }
+  return lk;
+}
+
+// The map the adaptive policy wants `ci` at, given its current signal.
+LockMap desired_map(ClassInfo* ci, AdaptState& st) {
+  const uint64_t hint = ci->lockMapHintBits.load(std::memory_order_relaxed);
+  if (ci->lockMapPinned.load(std::memory_order_relaxed))
+    return hint != kNoLockHint ? LockMap::from_bits(hint) : ci->lock_map();
+  const uint64_t events = ci->contentionEvents.load(std::memory_order_relaxed);
+  const bool hot = events != st.lastContention;
+  st.lastContention = events;
+  if (hot) st.scorched = true;
+  if (st.scorched) return LockMap::field_map();
+  if (hint != kNoLockHint) return LockMap::from_bits(hint);
+  return LockMap::object_map();
+}
+
+struct Candidate {
+  LockMap target;
+  bool vetoed = false;
+  std::vector<ManagedObject*> materialized;
+};
+
+// World stopped: veto classes with live lock state, release the
+// survivors' lock arrays under the OLD map, then swap the maps. Walks
+// every allocated object — including dead-but-unswept garbage — so no
+// array sized under the old map outlives the swap; the later sweep
+// then releases exactly the width it re-materialized with, keeping the
+// Table 8 "Locks" gauge byte-exact across re-plans.
+uint64_t apply_stopped(std::unordered_map<ClassInfo*, Candidate>& cand) {
+  Heap::instance().for_each_object([&](ManagedObject* o) {
+    auto it = cand.find(o->h.cls);
+    if (it == cand.end() || it->second.vetoed) return;
+    core::LockWord* lp = o->locks.load(std::memory_order_acquire);
+    // nullptr = new in a (parked) transaction, kUnalloc = lazy: neither
+    // has lock words to migrate; both materialize under the new map.
+    if (lp == nullptr || lp == kUnalloc) return;
+    const uint32_t n = lock_count(o);  // width under the CURRENT map
+    for (uint32_t i = 0; i < n; i++) {
+      // Any nonzero word — held lock (member bits), writer/upgrader
+      // flag, or a bound wait queue (threads parked in slow_acquire
+      // leave their queue id in the word) — vetoes the class.
+      if (lp[i] != 0) {
+        it->second.vetoed = true;
+        it->second.materialized.clear();
+        return;
+      }
+    }
+    it->second.materialized.push_back(o);
+  });
+  uint64_t applied = 0;
+  for (auto& [ci, c] : cand) {
+    if (c.vetoed) {
+      gVetoed.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    for (ManagedObject* o : c.materialized) release_locks(o);
+    ci->lockMapBits.store(c.target.bits(), std::memory_order_relaxed);
+    applied++;
+  }
+  return applied;
+}
+
+// --- Controller thread ------------------------------------------------------
+
+std::mutex gCtlMu;
+std::thread gCtlThread;
+bool gCtlRunning = false;  // guarded by gCtlMu
+std::atomic<bool> gCtlStop{false};
+
+void controller_main() {
+  // SBD-attached background thread (the MemorySampler pattern): it
+  // both requests stop-the-world and must look "safe" to concurrent
+  // stoppers (GC, sampler) while it sleeps.
+  Heap::instance().attach_current_thread_here();
+  core::ThreadContext& tc = core::tls_context();
+  while (!gCtlStop.load(std::memory_order_acquire)) {
+    replan_now();
+    core::Safepoint::SafeScope safe(tc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms()));
+  }
+}
+
+}  // namespace
+
+Mode mode() { return config().mode; }
+
+uint32_t mode_stripes() { return config().stripes; }
+
+const char* mode_name() {
+  switch (config().mode) {
+    case Mode::kField:
+      return "field";
+    case Mode::kStriped:
+      return "striped";
+    case Mode::kObject:
+      return "object";
+    case Mode::kAdaptive:
+    default:
+      return "adaptive";
+  }
+}
+
+LockMap initial_map() {
+  switch (config().mode) {
+    case Mode::kStriped:
+      return LockMap::striped_map(config().stripes);
+    case Mode::kObject:
+      return LockMap::object_map();
+    case Mode::kField:
+    case Mode::kAdaptive:  // starts faithful; coarsens from data
+    default:
+      return LockMap::field_map();
+  }
+}
+
+LockMap make_map(LockGranularity g, uint32_t stripes) {
+  switch (g) {
+    case LockGranularity::kStriped:
+      return LockMap::striped_map(stripes);
+    case LockGranularity::kObject:
+      return LockMap::object_map();
+    case LockGranularity::kField:
+    default:
+      return LockMap::field_map();
+  }
+}
+
+void on_class_registered(ClassInfo* ci) {
+  // Called before the class is published (no instance can exist yet),
+  // so a plain store is enough.
+  ci->lockMapBits.store(initial_map().bits(), std::memory_order_relaxed);
+  if (config().mode == Mode::kAdaptive) start_controller();
+}
+
+void note_contention(ManagedObject* obj) {
+  obj->h.cls->contentionEvents.fetch_add(1, std::memory_order_relaxed);
+}
+
+void hint_class_map(ClassInfo* ci, LockMap m) {
+  ci->lockMapHintBits.store(m.bits(), std::memory_order_relaxed);
+}
+
+bool set_class_map(ClassInfo* ci, LockMap m) {
+  core::ThreadContext& tc = core::tls_context();
+  auto lk = lock_replan_safely(tc);
+  ci->lockMapPinned.store(true, std::memory_order_relaxed);
+  // The hint doubles as the pin target: if the apply below is vetoed,
+  // the adaptive controller keeps retrying it each cycle.
+  ci->lockMapHintBits.store(m.bits(), std::memory_order_relaxed);
+  if (ci->lock_map() == m) return true;
+  std::unordered_map<ClassInfo*, Candidate> cand;
+  cand[ci].target = m;
+  core::Safepoint::stop_world(tc);
+  gStops.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t applied = apply_stopped(cand);
+  core::Safepoint::resume_world(tc);
+  gReplans.fetch_add(applied, std::memory_order_relaxed);
+  return applied == 1;
+}
+
+uint64_t replan_now() {
+  core::ThreadContext& tc = core::tls_context();
+  auto lk = lock_replan_safely(tc);
+  gCycles.fetch_add(1, std::memory_order_relaxed);
+  // Phase 1 (world running): compute the change set cheaply. The
+  // signal may go stale before the stop below — benign, the next
+  // cycle reverts any class that turned hot in the window.
+  std::unordered_map<ClassInfo*, Candidate> cand;
+  const bool adaptive = config().mode == Mode::kAdaptive;
+  for_each_class([&](ClassInfo* ci) {
+    LockMap want = ci->lock_map();
+    if (adaptive) {
+      want = desired_map(ci, gAdapt[ci]);
+    } else if (ci->lockMapPinned.load(std::memory_order_relaxed)) {
+      // Fixed modes re-plan only vetoed set_class_map pins.
+      const uint64_t hint = ci->lockMapHintBits.load(std::memory_order_relaxed);
+      if (hint != kNoLockHint) want = LockMap::from_bits(hint);
+    }
+    if (want != ci->lock_map()) cand[ci].target = want;
+  });
+  if (cand.empty()) return 0;
+  // Phase 2: stop the world, migrate, resume.
+  core::Safepoint::stop_world(tc);
+  gStops.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t applied = apply_stopped(cand);
+  core::Safepoint::resume_world(tc);
+  gReplans.fetch_add(applied, std::memory_order_relaxed);
+  return applied;
+}
+
+Counters counters() {
+  Counters c;
+  c.cycles = gCycles.load(std::memory_order_relaxed);
+  c.replans = gReplans.load(std::memory_order_relaxed);
+  c.vetoed = gVetoed.load(std::memory_order_relaxed);
+  c.stops = gStops.load(std::memory_order_relaxed);
+  return c;
+}
+
+void start_controller() {
+  std::lock_guard<std::mutex> lk(gCtlMu);
+  if (gCtlRunning) return;
+  // Everything the controller touches must be constructed BEFORE the
+  // atexit handler below registers: a function-local singleton
+  // constructed later would be destroyed before the handler runs,
+  // under the controller's feet.
+  (void)core::tls_context();
+  (void)Heap::instance();
+  (void)core::gauges();
+  (void)LockPool::instance();
+  gCtlStop.store(false, std::memory_order_release);
+  gCtlThread = std::thread(controller_main);
+  gCtlRunning = true;
+  static const bool atexitOnce = [] {
+    std::atexit([] { stop_controller(); });
+    return true;
+  }();
+  (void)atexitOnce;
+}
+
+void stop_controller() {
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> lk(gCtlMu);
+    if (!gCtlRunning) return;
+    gCtlStop.store(true, std::memory_order_release);
+    t = std::move(gCtlThread);
+    gCtlRunning = false;
+  }
+  if (core::ThreadContext* tc = core::tls_context_if_present()) {
+    // The controller may be stopping the world and waiting for this
+    // thread to park — join from a safe region.
+    core::Safepoint::SafeScope safe(*tc);
+    t.join();
+  } else {
+    // Process teardown: this thread's context is already destroyed and
+    // unregistered, so the controller's stop never waits on us.
+    t.join();
+  }
+}
+
+}  // namespace sbd::runtime::lockplan

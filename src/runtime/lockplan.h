@@ -1,0 +1,83 @@
+// Lock-granularity planning — the policy side of the LockMap seam.
+//
+// The paper hard-wires one lock per field (Fig. 4). This layer decides,
+// per class, which LockMap the instances use, from three sources:
+//
+//   1. SBD_LOCK_GRANULARITY=field|striped:<k>|object|adaptive — the
+//      process-wide mode, parsed once. Fixed modes apply their map at
+//      class registration and never change it; `field` (the default)
+//      is bit-for-bit the pre-LockMap behaviour.
+//   2. set_lock_granularity() — a per-class pin from user code.
+//   3. The adaptive controller: a background thread that periodically
+//      coarsens cold classes (fewer lock words -> fewer acquire/release
+//      pairs, "On the Cost of Concurrency in TM"'s uncontended-cost
+//      argument) and reverts classes that show contention back to field
+//      granularity, using ClassInfo::contentionEvents as the signal.
+//
+// Re-plan safety: a map change swaps the width and indexing of every
+// instance's lock array, so it happens only under stop-the-world, and
+// only for classes with no live lock state (see replan_now below). The
+// Fig. 5 fast path is preserved untouched: mutators poll *before*
+// loading the locks pointer, so the load-to-use window contains no
+// safepoint and no mutator can ever act on a mixed map.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/class_info.h"
+
+namespace sbd::runtime {
+
+// User-facing granularity names (re-exported by api/sbd.h).
+enum class LockGranularity : uint8_t { kField, kStriped, kObject };
+
+namespace lockplan {
+
+enum class Mode : uint8_t { kField, kStriped, kObject, kAdaptive };
+
+// Process-wide mode from SBD_LOCK_GRANULARITY (parsed once, cached).
+Mode mode();
+const char* mode_name();
+uint32_t mode_stripes();  // <k> of striped:<k> (default 4)
+
+// The map a freshly registered class starts with under mode().
+// Adaptive starts at field (faithful) and coarsens from data.
+LockMap initial_map();
+
+LockMap make_map(LockGranularity g, uint32_t stripes);
+
+// register_class()/array_class() hook: applies initial_map() and, in
+// adaptive mode, lazily starts the controller thread.
+void on_class_registered(ClassInfo* ci);
+
+// Pins `ci` to `m` and applies it (stop-the-world if needed). Returns
+// false if the change was vetoed by live lock state; the pin sticks
+// either way, and in adaptive mode the controller retries each cycle.
+bool set_class_map(ClassInfo* ci, LockMap m);
+
+// Preference for the adaptive controller's cold-class coarsening (used
+// instead of the default `object` map). No effect under fixed modes.
+void hint_class_map(ClassInfo* ci, LockMap m);
+
+// Contention signal from the contended-acquire slow path.
+void note_contention(ManagedObject* obj);
+
+// One decision + apply cycle; returns how many class maps changed.
+// The controller calls this periodically; tests call it directly.
+uint64_t replan_now();
+
+// Adaptive controller thread lifecycle. start is idempotent; stop
+// joins and may be called from atexit teardown.
+void start_controller();
+void stop_controller();
+
+struct Counters {
+  uint64_t cycles = 0;   // replan_now() invocations
+  uint64_t replans = 0;  // class maps actually changed
+  uint64_t vetoed = 0;   // per-class changes skipped due to live lock state
+  uint64_t stops = 0;    // cycles that stopped the world
+};
+Counters counters();
+
+}  // namespace lockplan
+}  // namespace sbd::runtime

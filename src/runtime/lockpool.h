@@ -16,7 +16,9 @@
 // Table 8 accounting is unchanged by design: the "Locks" gauge keeps
 // counting lock_count(o) * 8 bytes per LIVE materialized instance
 // (object.cpp adjusts it on materialize/release); pooled-but-free
-// arrays are invisible to the gauge.
+// arrays are invisible to the gauge. lock_count is the MAPPED width
+// (the class's LockMap), so coarse-grained classes draw smaller size
+// classes from the pool and report their real mapped footprint.
 #pragma once
 
 #include <atomic>

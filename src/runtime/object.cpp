@@ -6,7 +6,11 @@
 
 namespace sbd::runtime {
 
-uint32_t lock_count(const ManagedObject* o) {
+namespace {
+
+// Natural (pre-LockMap) lock count: one per slot, arrays one per
+// element, byte arrays one per 64-byte block.
+uint32_t natural_lock_count(const ManagedObject* o) {
   const ClassInfo* cls = o->h.cls;
   if (!cls->isArray) return cls->slotCount;
   const uint64_t len = o->array_length();
@@ -15,10 +19,20 @@ uint32_t lock_count(const ManagedObject* o) {
   return static_cast<uint32_t>(len);
 }
 
-uint32_t lock_index(const ManagedObject* o, uint64_t slot) {
+uint32_t natural_lock_index(const ManagedObject* o, uint64_t slot) {
   if (o->h.cls->isArray && o->h.cls->elemKind == ElemKind::kI8)
     return static_cast<uint32_t>(slot / kI8LockStride);
   return static_cast<uint32_t>(slot);
+}
+
+}  // namespace
+
+uint32_t lock_count(const ManagedObject* o) {
+  return o->h.cls->lock_map().width(natural_lock_count(o));
+}
+
+uint32_t lock_index(const ManagedObject* o, uint64_t slot) {
+  return o->h.cls->lock_map().index(natural_lock_index(o, slot));
 }
 
 core::LockWord* materialize_locks(ManagedObject* o) {
@@ -27,9 +41,10 @@ core::LockWord* materialize_locks(ManagedObject* o) {
   auto* fresh = LockPool::instance().acquire(n);
   core::LockWord* expected = kUnalloc;
   if (o->locks.compare_exchange_strong(expected, fresh, std::memory_order_acq_rel)) {
-    // The gauge counts the semantic size (one word per lock) of LIVE
-    // structures only — class rounding and pooled-free arrays are
-    // invisible, keeping Table 8 byte-exact across the pool change.
+    // The gauge counts the semantic size (one word per MAPPED lock, so
+    // coarse LockMaps report their real footprint) of LIVE structures
+    // only — class rounding and pooled-free arrays are invisible,
+    // keeping Table 8 byte-exact across the pool change.
     core::gauges().lockStructBytes.fetch_add(n * sizeof(core::LockWord),
                                              std::memory_order_relaxed);
     return fresh;

@@ -70,11 +70,13 @@ struct ManagedObject {
 static_assert(sizeof(ManagedObject) == 24, "layout assumption of the lock fast path");
 
 // Number of lock words the instance needs when its lock structure is
-// materialized (one per slot; arrays one per element, byte arrays one
-// per 64-byte block).
+// materialized: the class's LockMap width over the natural count (one
+// per slot; arrays one per element, byte arrays one per 64-byte
+// block). Under the default field map this is the natural count.
 uint32_t lock_count(const ManagedObject* o);
 
-// Lock-word index covering `slot` (field index or array element index).
+// Lock-word index covering `slot` (field index or array element
+// index): the class's LockMap image of the natural index.
 uint32_t lock_index(const ManagedObject* o, uint64_t slot);
 
 // Lazily allocates the lock structure of `o` (paper Fig. 5 step 2).

@@ -1,0 +1,155 @@
+// Wait-queue unit tests (§3.2): upgrader-priority ordering inside one
+// queue, and the 6-bit queue-id pool's exhaustion invariant and id
+// recycling. The fairness_test covers the end-to-end starvation
+// behavior; these pin the data-structure contracts directly.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "core/fwd.h"
+#include "core/queue.h"
+
+namespace sbd::core {
+namespace {
+
+Waiter reader(int id) { return Waiter{id, /*wantWrite=*/false, /*upgrader=*/false}; }
+Waiter writer(int id) { return Waiter{id, /*wantWrite=*/true, /*upgrader=*/false}; }
+Waiter upgrader(int id) { return Waiter{id, /*wantWrite=*/true, /*upgrader=*/true}; }
+
+TEST(WaitQueue, FifoForPlainWaitersUpgradersEnterAtFront) {
+  WaitQueue q;
+  std::lock_guard<std::mutex> lk(q.mu);
+  q.enqueue(reader(1));
+  q.enqueue(writer(2));
+  q.enqueue(reader(3));
+  // Plain waiters keep arrival order regardless of read/write.
+  EXPECT_EQ(q.position_of(1), 0);
+  EXPECT_EQ(q.position_of(2), 1);
+  EXPECT_EQ(q.position_of(3), 2);
+  // An upgrading reader jumps the whole line (shortens the window for
+  // dueling upgrades).
+  q.enqueue(upgrader(4));
+  EXPECT_EQ(q.position_of(4), 0);
+  EXPECT_EQ(q.position_of(1), 1);
+  // A second upgrader enters ahead of the first: last-upgrader-first is
+  // the push_front contract.
+  q.enqueue(upgrader(5));
+  EXPECT_EQ(q.position_of(5), 0);
+  EXPECT_EQ(q.position_of(4), 1);
+  EXPECT_EQ(q.position_of(3), 4);
+}
+
+TEST(WaitQueue, OnlyReadersAheadTreatsUpgradersAsWriters) {
+  WaitQueue q;
+  std::lock_guard<std::mutex> lk(q.mu);
+  q.enqueue(reader(1));
+  q.enqueue(reader(2));
+  q.enqueue(writer(3));
+  q.enqueue(reader(4));
+  // Readers behind only readers may be granted together...
+  EXPECT_TRUE(q.only_readers_ahead(q.position_of(1)));
+  EXPECT_TRUE(q.only_readers_ahead(q.position_of(2)));
+  // ...but never past a waiting writer (that is the anti-starvation rule).
+  EXPECT_FALSE(q.only_readers_ahead(q.position_of(4)));
+  // Upgraders count as writers for the check even though wantWrite
+  // arrived via upgrade.
+  WaitQueue q2;
+  std::lock_guard<std::mutex> lk2(q2.mu);
+  q2.enqueue(reader(1));
+  q2.enqueue(upgrader(2));
+  EXPECT_FALSE(q2.only_readers_ahead(q2.position_of(1)));
+}
+
+TEST(WaitQueue, RemoveDropsExactlyTheNamedWaiter) {
+  WaitQueue q;
+  std::lock_guard<std::mutex> lk(q.mu);
+  q.enqueue(reader(1));
+  q.enqueue(writer(2));
+  q.enqueue(reader(3));
+  q.remove(2);
+  EXPECT_EQ(q.position_of(2), -1);
+  EXPECT_EQ(q.position_of(1), 0);
+  EXPECT_EQ(q.position_of(3), 1);
+  q.remove(99);  // absent id: no effect
+  EXPECT_EQ(q.waiters.size(), 2u);
+}
+
+// The pool's 63 ids fit the 6-bit queue-id field of the lock word
+// (id 0 means "no queue"). Allocating every id must hand out exactly
+// 1..63 once each — the invariant that makes the id fit by construction.
+TEST(QueuePool, HandsOutAllSixtyThreeDistinctIds) {
+  QueuePool pool;
+  std::set<int> ids;
+  for (int i = 0; i < kNumQueues; i++) {
+    const int qid = pool.alloc(nullptr, nullptr);
+    EXPECT_GE(qid, 1);
+    EXPECT_LE(qid, kNumQueues);
+    EXPECT_TRUE(ids.insert(qid).second) << "duplicate qid " << qid;
+    EXPECT_FALSE(pool.get(qid).detached);
+  }
+  EXPECT_EQ(ids.size(), static_cast<size_t>(kNumQueues));
+  // Return everything following the caller contract: detach under q.mu,
+  // then free.
+  for (int qid : ids) {
+    WaitQueue& q = pool.get(qid);
+    std::lock_guard<std::mutex> lk(q.mu);
+    q.detached = true;
+    q.boundWord = nullptr;
+    q.boundObj = nullptr;
+    pool.free(qid);
+  }
+}
+
+TEST(QueuePool, RecyclesFreedIdsLowestFirst) {
+  QueuePool pool;
+  std::vector<int> first;
+  for (int i = 0; i < 5; i++) first.push_back(pool.alloc(nullptr, nullptr));
+  auto release = [&](int qid) {
+    WaitQueue& q = pool.get(qid);
+    std::lock_guard<std::mutex> lk(q.mu);
+    q.detached = true;
+    q.boundWord = nullptr;
+    q.boundObj = nullptr;
+    pool.free(qid);
+  };
+  // Free the middle one; the next alloc must reuse it (countr_zero scan
+  // picks the lowest free bit), not burn a fresh id.
+  release(first[2]);
+  EXPECT_EQ(pool.alloc(nullptr, nullptr), first[2]);
+  // Drain-and-refill keeps the working set compact: free all, realloc
+  // all, and the same id set comes back.
+  std::set<int> before(first.begin(), first.end());
+  for (int qid : first) release(qid);
+  std::set<int> after;
+  for (int i = 0; i < 5; i++) after.insert(pool.alloc(nullptr, nullptr));
+  EXPECT_EQ(before, after);
+  for (int qid : after) release(qid);
+}
+
+// Rebinding after recycling: a fresh alloc of a recycled id re-binds the
+// queue to the new word/object and clears `detached`, so a late enqueuer
+// holding a stale qid can detect the rebind via boundWord.
+TEST(QueuePool, ReallocRebindsTheQueue) {
+  QueuePool pool;
+  LockWord* wordA = reinterpret_cast<LockWord*>(0x10);
+  LockWord* wordB = reinterpret_cast<LockWord*>(0x20);
+  const int qid = pool.alloc(wordA, nullptr);
+  EXPECT_EQ(pool.get(qid).boundWord, wordA);
+  {
+    WaitQueue& q = pool.get(qid);
+    std::lock_guard<std::mutex> lk(q.mu);
+    q.detached = true;
+    q.boundWord = nullptr;
+    q.boundObj = nullptr;
+    pool.free(qid);
+  }
+  const int qid2 = pool.alloc(wordB, nullptr);
+  EXPECT_EQ(qid2, qid);  // lowest-free-bit reuse
+  EXPECT_EQ(pool.get(qid2).boundWord, wordB);
+  EXPECT_FALSE(pool.get(qid2).detached);
+}
+
+}  // namespace
+}  // namespace sbd::core

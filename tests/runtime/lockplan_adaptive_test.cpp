@@ -1,0 +1,150 @@
+// Adaptive lock-granularity controller. This binary runs with
+// SBD_LOCK_GRANULARITY=adaptive and a short re-plan interval (set via
+// the ctest ENVIRONMENT property — the mode is parsed once per
+// process), so the background controller is live: cold classes coarsen
+// (to their hint, else to one object lock), contended classes revert to
+// field granularity and stay there (scorched hysteresis).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "api/sbd.h"
+#include "core/obs.h"
+#include "core/transaction.h"
+#include "runtime/lockplan.h"
+#include "runtime/object.h"
+
+namespace sbd {
+namespace {
+
+using runtime::LockMap;
+
+// Waits until `pred` holds. The sleep sits in a safe region — the
+// controller stops the world each cycle and would otherwise wait
+// forever for this (attached, "running") thread to reach a safepoint.
+template <typename Pred>
+bool wait_for(Pred&& pred, int ms = 5000) {
+  auto& tc = core::tls_context();
+  for (int i = 0; i < ms; i++) {
+    if (pred()) return true;
+    core::Safepoint::SafeScope safe(tc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+class ColdSix : public runtime::TypedRef<ColdSix> {
+ public:
+  SBD_CLASS(AdaptCold, SBD_SLOT("s0"), SBD_SLOT("s1"), SBD_SLOT("s2"),
+            SBD_SLOT("s3"), SBD_SLOT("s4"), SBD_SLOT("s5"))
+  SBD_FIELD_I64(0, s0)
+};
+
+TEST(LockPlanAdaptive, ModeIsAdaptive) {
+  ASSERT_EQ(runtime::lockplan::mode(), runtime::lockplan::Mode::kAdaptive);
+  // Adaptive starts faithful and coarsens from data.
+  EXPECT_EQ(runtime::lockplan::initial_map(), LockMap::field_map());
+}
+
+TEST(LockPlanAdaptive, ColdClassCoarsensToObject) {
+  runtime::GlobalRoot<ColdSix> root;
+  run_sbd([&] {
+    ColdSix x = ColdSix::alloc();
+    x.init_s0(1);
+    root.set(x);
+  });
+  EXPECT_TRUE(wait_for([] {
+    return ColdSix::klass()->lock_map() == LockMap::object_map();
+  })) << "controller never coarsened a cold class; map is "
+      << ColdSix::klass()->lock_map().to_string();
+  // The coarse map is live on the instance.
+  EXPECT_EQ(runtime::lock_count(root.get().raw()), 1u);
+  // And the counters show actual re-plan work.
+  const auto c = runtime::lockplan::counters();
+  EXPECT_GT(c.cycles, 0u);
+  EXPECT_GT(c.replans, 0u);
+  EXPECT_GT(c.stops, 0u);
+}
+
+class HintedPair : public runtime::TypedRef<HintedPair> {
+ public:
+  SBD_CLASS(AdaptHinted, SBD_SLOT("a"), SBD_SLOT("b"), SBD_SLOT("c"),
+            SBD_SLOT("d"))
+};
+
+TEST(LockPlanAdaptive, ColdClassHonorsTheHint) {
+  hint_lock_granularity(HintedPair::klass(), LockGranularity::kStriped, 2);
+  EXPECT_TRUE(wait_for([] {
+    return HintedPair::klass()->lock_map() == LockMap::striped_map(2);
+  })) << HintedPair::klass()->lock_map().to_string();
+}
+
+class HotCell : public runtime::TypedRef<HotCell> {
+ public:
+  SBD_CLASS(AdaptHot, SBD_SLOT("x"), SBD_SLOT("y"))
+  SBD_FIELD_I64(0, x)
+};
+
+TEST(LockPlanAdaptive, ContendedClassScorchesBackToField) {
+  runtime::GlobalRoot<HotCell> root;
+  run_sbd([&] {
+    HotCell h = HotCell::alloc();
+    h.init_x(0);
+    root.set(h);
+  });
+  ASSERT_TRUE(wait_for([] {
+    return HotCell::klass()->lock_map() == LockMap::object_map();
+  }));
+  // Contention arrives (the slow-acquire path reports it); the next
+  // cycle must revert the class to field granularity...
+  runtime::lockplan::note_contention(root.get().raw());
+  EXPECT_TRUE(wait_for([] {
+    return HotCell::klass()->lock_map() == LockMap::field_map();
+  })) << HotCell::klass()->lock_map().to_string();
+  // ...and scorching is sticky: with the signal quiet again the class
+  // still must not re-coarsen (hysteresis against flapping).
+  {
+    auto& tc = core::tls_context();
+    core::Safepoint::SafeScope safe(tc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_EQ(HotCell::klass()->lock_map(), LockMap::field_map());
+}
+
+class PinnedSix : public runtime::TypedRef<PinnedSix> {
+ public:
+  SBD_CLASS(AdaptPinned, SBD_SLOT("s0"), SBD_SLOT("s1"), SBD_SLOT("s2"),
+            SBD_SLOT("s3"), SBD_SLOT("s4"), SBD_SLOT("s5"))
+  SBD_FIELD_I64(0, s0)
+};
+
+TEST(LockPlanAdaptive, PinOverridesThePolicyBothWays) {
+  ASSERT_TRUE(set_lock_granularity(PinnedSix::klass(), LockGranularity::kStriped, 3));
+  EXPECT_EQ(PinnedSix::klass()->lock_map(), LockMap::striped_map(3));
+  // Contention on a pinned class must NOT revert it: the user's pin
+  // outranks the controller.
+  runtime::GlobalRoot<PinnedSix> root;
+  run_sbd([&] {
+    PinnedSix p = PinnedSix::alloc();
+    p.init_s0(0);
+    root.set(p);
+  });
+  runtime::lockplan::note_contention(root.get().raw());
+  {
+    auto& tc = core::tls_context();
+    core::Safepoint::SafeScope safe(tc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_EQ(PinnedSix::klass()->lock_map(), LockMap::striped_map(3));
+}
+
+TEST(LockPlanAdaptive, MetricsJsonExposesTheLockplanBlock) {
+  const std::string j = obs::metrics_json();
+  EXPECT_NE(j.find("\"lockplan\""), std::string::npos);
+  EXPECT_NE(j.find("\"mode\": \"adaptive\""), std::string::npos);
+  EXPECT_NE(j.find("\"replans\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sbd
