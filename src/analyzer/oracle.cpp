@@ -1,0 +1,575 @@
+#include "analyzer/oracle.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/fwd.h"
+
+namespace sbd::oracle {
+
+namespace {
+
+// Clock dimensions: one per txn id. core::kMaxTxns is 56; 64 leaves
+// headroom and keeps the arrays word-aligned.
+constexpr int kMaxIds = 64;
+constexpr size_t kMaxViolations = 32;
+
+struct VClock {
+  uint64_t c[kMaxIds] = {};
+  void join(const VClock& o) {
+    for (int i = 0; i < kMaxIds; i++)
+      if (o.c[i] > c[i]) c[i] = o.c[i];
+  }
+};
+
+// State of one (id, epoch) incarnation. The clock is carried ACROSS
+// epoch transitions of the same id: the id-pool hand-off is a real
+// happens-before edge, so the successor epoch inherits everything the
+// predecessor knew.
+struct TxnInfo {
+  uint64_t epoch = 0;
+  VClock vc;
+  bool committed = false;
+  int held = 0;  // locks currently granted to this incarnation
+};
+
+struct Holder {
+  int id = -1;
+  uint64_t epoch = 0;
+  bool write = false;
+  size_t acqIndex = 0;  // trace index of the grant (for reports)
+};
+
+struct LockState {
+  std::vector<Holder> holders;
+  VClock wClk;   // join of all WRITE releases: what a new reader must see
+  VClock rwClk;  // join of ALL releases: what a new writer/upgrader must see
+  std::string name;
+};
+
+struct CommitRec {
+  int id = -1;
+  uint64_t epoch = 0;
+  uint64_t seq = 0;
+  uint64_t ownTick = 0;  // the committing txn's clock component at commit
+  VClock vc;
+  size_t index = 0;
+};
+
+// The canonical event order: timestamp, with the global record ordinal
+// breaking ties — identical to obs::drain()'s order, and the order in
+// which conflicting lock operations really happened.
+std::vector<size_t> sorted_order(const std::vector<Rec>& trace) {
+  std::vector<size_t> idx(trace.size());
+  for (size_t i = 0; i < idx.size(); i++) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    if (trace[a].ts != trace[b].ts) return trace[a].ts < trace[b].ts;
+    return trace[a].ord < trace[b].ord;
+  });
+  return idx;
+}
+
+uint64_t fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char ch : s) {
+    h ^= ch;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Lock identity: the raw word address when present, else a hash of the
+// symbolic name (hand-built fixtures), tagged so the two cannot collide.
+uint64_t lock_key(const Rec& r) {
+  if (r.lockKey != 0) return r.lockKey;
+  return fnv1a(r.lockName) | (1ull << 63);
+}
+
+const char* mode_name(bool write) { return write ? "write" : "read"; }
+
+struct Checker {
+  Report rep;
+  std::vector<LockState> locks;
+  std::map<uint64_t, size_t> lockIndex;  // key -> locks[] slot
+  TxnInfo cur[kMaxIds];
+  uint64_t tick[kMaxIds] = {};
+  std::set<std::pair<int, uint64_t>> blockedSet;  // (id, epoch) that ever blocked
+  bool anyBlocked[kMaxIds] = {};
+  bool seen[kMaxIds] = {};
+  std::vector<CommitRec> commits;
+  std::set<uint64_t> commitSeqs;
+
+  void violate(size_t index, const char* rule, std::string detail) {
+    if (rep.violations.size() >= kMaxViolations) {
+      rep.truncated = true;
+      return;
+    }
+    rep.violations.push_back({index, rule, std::move(detail)});
+  }
+
+  LockState& lock_for(const Rec& r) {
+    const uint64_t key = lock_key(r);
+    auto [it, fresh] = lockIndex.try_emplace(key, locks.size());
+    if (fresh) locks.emplace_back();
+    LockState& L = locks[it->second];
+    if (L.name.empty() && !r.lockName.empty()) L.name = r.lockName;
+    return L;
+  }
+
+  Holder* find_holder(LockState& L, int id) {
+    for (Holder& h : L.holders)
+      if (h.id == id) return &h;
+    return nullptr;
+  }
+
+  // Epoch bookkeeping for an id-carrying event. Returns false when the
+  // event belongs to a PAST incarnation (recycled-id aliasing) and must
+  // not be applied to the current state.
+  bool enter_epoch(const Rec& r, size_t index) {
+    TxnInfo& t = cur[r.txn];
+    if (!seen[r.txn]) {
+      seen[r.txn] = true;
+      rep.txns++;
+    }
+    // epoch 0 = "unknown" (epoch-less fixtures, non-txn diagnostics):
+    // treated as the current incarnation.
+    if (r.epoch == 0 || t.epoch == r.epoch) return true;
+    if (r.epoch < t.epoch && t.epoch != 0) {
+      std::ostringstream os;
+      os << "event for txn " << r.txn << "@" << r.epoch
+         << " arrives after epoch " << t.epoch
+         << " of the same (recycled) id began";
+      violate(index, "txn-epoch-alias", os.str());
+      return false;
+    }
+    // New incarnation of this id.
+    if (t.held != 0 && rep.complete) {
+      std::ostringstream os;
+      os << "txn " << r.txn << "@" << t.epoch << " still holds " << t.held
+         << " lock(s) when epoch " << r.epoch << " begins";
+      violate(index, "locks-held-at-txn-end", os.str());
+    }
+    if (t.held != 0) scrub_holders(r.txn, t.epoch);
+    if (t.epoch != 0) rep.txns++;  // a genuinely NEW incarnation of a seen id
+    t.epoch = r.epoch;
+    t.committed = false;
+    t.held = 0;
+    return true;
+  }
+
+  void scrub_holders(int id, uint64_t epoch) {
+    for (LockState& L : locks)
+      L.holders.erase(std::remove_if(L.holders.begin(), L.holders.end(),
+                                     [&](const Holder& h) {
+                                       return h.id == id && h.epoch == epoch;
+                                     }),
+                      L.holders.end());
+  }
+
+  std::string holders_string(const LockState& L) {
+    std::ostringstream os;
+    for (size_t i = 0; i < L.holders.size(); i++)
+      os << (i ? ", " : "") << "txn " << L.holders[i].id << "@"
+         << L.holders[i].epoch << " (" << mode_name(L.holders[i].write) << ")";
+    return os.str();
+  }
+
+  void on_acquire(const Rec& r, size_t index) {
+    rep.acquires++;
+    TxnInfo& t = cur[r.txn];
+    if (t.committed) {
+      std::ostringstream os;
+      os << "txn " << r.txn << "@" << t.epoch << " granted " << r.lockName
+         << " after its own commit";
+      violate(index, "grant-after-commit", os.str());
+    }
+    LockState& L = lock_for(r);
+    const bool upgrade = r.other == 1;
+    Holder* mine = find_holder(L, r.txn);
+    if (upgrade) {
+      if (!mine) {
+        std::ostringstream os;
+        os << "txn " << r.txn << "@" << t.epoch << " upgrades " << r.lockName
+           << " without holding a read lock";
+        violate(index, "upgrade-without-read-hold", os.str());
+        L.holders.push_back({r.txn, t.epoch, true, index});
+        t.held++;
+      } else {
+        if (mine->write) {
+          violate(index, "double-grant",
+                  "upgrade of a lock already held for write: " + r.lockName);
+        }
+        if (L.holders.size() > 1) {
+          std::ostringstream os;
+          os << "upgrade of " << r.lockName
+             << " granted while other holders remain: " << holders_string(L);
+          violate(index, "conflicting-grant", os.str());
+        }
+        mine->write = true;
+        mine->acqIndex = index;
+      }
+      t.vc.join(L.rwClk);
+    } else {
+      if (mine) {
+        std::ostringstream os;
+        os << "txn " << r.txn << "@" << t.epoch << " granted " << r.lockName
+           << " which it already holds (" << mode_name(mine->write) << ")";
+        violate(index, "double-grant", os.str());
+        mine->write = mine->write || r.write;
+      } else {
+        if (r.write && !L.holders.empty()) {
+          std::ostringstream os;
+          os << "write grant of " << r.lockName
+             << " while held by: " << holders_string(L);
+          violate(index, "conflicting-grant", os.str());
+        } else if (!r.write) {
+          for (const Holder& h : L.holders)
+            if (h.write) {
+              std::ostringstream os;
+              os << "read grant of " << r.lockName << " under writer txn "
+                 << h.id << "@" << h.epoch;
+              violate(index, "conflicting-grant", os.str());
+              break;
+            }
+        }
+        L.holders.push_back({r.txn, t.epoch, r.write, index});
+        t.held++;
+      }
+      // Readers are ordered only after writers (commuting readers stay
+      // concurrent); writers are ordered after every prior release.
+      t.vc.join(r.write ? L.rwClk : L.wClk);
+    }
+  }
+
+  void on_release(const Rec& r, size_t index) {
+    rep.releases++;
+    TxnInfo& t = cur[r.txn];
+    LockState& L = lock_for(r);
+    Holder* mine = find_holder(L, r.txn);
+    if (!mine) {
+      std::ostringstream os;
+      os << "txn " << r.txn << "@" << t.epoch << " releases " << r.lockName
+         << " which it does not hold";
+      violate(index, "phantom-release", os.str());
+      return;
+    }
+    if (mine->epoch != 0 && r.epoch != 0 && mine->epoch != r.epoch) {
+      std::ostringstream os;
+      os << "txn " << r.txn << "@" << r.epoch << " releases " << r.lockName
+         << " granted to earlier incarnation @" << mine->epoch
+         << " (recycled txn id aliasing)";
+      violate(index, "release-epoch-mismatch", os.str());
+    }
+    if (mine->write != r.write) {
+      std::ostringstream os;
+      os << "release of " << r.lockName << " as " << mode_name(r.write)
+         << " but the grant was " << mode_name(mine->write);
+      violate(index, "release-mode-mismatch", os.str());
+    }
+    const bool wasWrite = mine->write;
+    L.holders.erase(L.holders.begin() + (mine - L.holders.data()));
+    if (t.held > 0) t.held--;
+    // Publish the releaser's knowledge on the lock: everything it did
+    // (including transitively-acquired clocks) is now visible to the
+    // next conflicting acquirer. Abort-releases publish too — their
+    // clocks only carry OTHER transactions' committed ticks, which are
+    // real transitive edges.
+    L.rwClk.join(t.vc);
+    if (wasWrite) L.wClk.join(t.vc);
+  }
+
+  void on_commit_order(const Rec& r, size_t index) {
+    rep.commits++;
+    TxnInfo& t = cur[r.txn];
+    if (t.committed) {
+      std::ostringstream os;
+      os << "txn " << r.txn << "@" << t.epoch << " commits twice";
+      violate(index, "double-commit", os.str());
+    }
+    t.committed = true;
+    if (r.seq == 0) {
+      violate(index, "commit-without-seq",
+              "kCommitOrder event carries no commit sequence number");
+      return;
+    }
+    if (!commitSeqs.insert(r.seq).second) {
+      std::ostringstream os;
+      os << "commit sequence " << r.seq << " drawn twice";
+      violate(index, "duplicate-commit-seq", os.str());
+    }
+    commits.push_back({r.txn, t.epoch, r.seq, t.vc.c[r.txn], t.vc, index});
+  }
+
+  void on_deadlock(const Rec& r, size_t index) {
+    const int victim = r.other;
+    if (victim < 0 || victim >= kMaxIds) {
+      std::ostringstream os;
+      os << "deadlock event names no valid victim (other=" << victim << ")";
+      violate(index, "deadlock-no-victim", os.str());
+      return;
+    }
+    const uint64_t vEpoch = r.seq;
+    const bool participated = vEpoch != 0
+                                  ? blockedSet.count({victim, vEpoch}) > 0
+                                  : anyBlocked[victim];
+    if (!participated) {
+      std::ostringstream os;
+      os << "deadlock names victim txn " << victim << "@" << vEpoch
+         << " which never blocked (not in the cycle)";
+      violate(index, "deadlock-victim-not-in-cycle", os.str());
+    }
+  }
+
+  void run(const std::vector<Rec>& trace, const std::vector<size_t>& order) {
+    rep.events = trace.size();
+    for (size_t pos = 0; pos < order.size(); pos++) {
+      const Rec& r = trace[order[pos]];
+      const bool hasTxn = r.txn >= 0 && r.txn < kMaxIds;
+      if (r.kind == obs::EventKind::kThreadExit) {
+        rep.threadExits++;
+        continue;
+      }
+      if (!hasTxn) continue;
+      if (!enter_epoch(r, pos)) continue;
+      // Tick the txn's own clock component on every event it performs.
+      tick[r.txn]++;
+      cur[r.txn].vc.c[r.txn] = tick[r.txn];
+      switch (r.kind) {
+        case obs::EventKind::kAcquire:
+          on_acquire(r, pos);
+          break;
+        case obs::EventKind::kRelease:
+          on_release(r, pos);
+          break;
+        case obs::EventKind::kCommitOrder:
+          on_commit_order(r, pos);
+          break;
+        case obs::EventKind::kAborted:
+          if (cur[r.txn].committed) {
+            std::ostringstream os;
+            os << "txn " << r.txn << "@" << cur[r.txn].epoch
+               << " aborts after committing";
+            violate(pos, "abort-after-commit", os.str());
+          }
+          break;
+        case obs::EventKind::kBlocked:
+          blockedSet.insert({r.txn, r.epoch != 0 ? r.epoch : cur[r.txn].epoch});
+          anyBlocked[r.txn] = true;
+          break;
+        case obs::EventKind::kDeadlock:
+          on_deadlock(r, pos);
+          break;
+        default:
+          break;  // kGranted etc.: diagnostic-only kinds
+      }
+    }
+    finish();
+  }
+
+  void finish() {
+    // Commit total order must be a linear extension of happens-before:
+    // sweep commits in sequence order, carrying the join of all clocks
+    // seen so far; if an earlier-sequence commit already knew about a
+    // later-sequence commit's tick, the later one happens-before it —
+    // an inversion. O(commits * kMaxIds).
+    std::sort(commits.begin(), commits.end(), [](const CommitRec& a, const CommitRec& b) {
+      if (a.seq != b.seq) return a.seq < b.seq;
+      return a.index < b.index;
+    });
+    uint64_t maxSeen[kMaxIds] = {};
+    for (const CommitRec& c : commits) {
+      if (c.id >= 0 && c.id < kMaxIds && maxSeen[c.id] >= c.ownTick) {
+        std::ostringstream os;
+        os << "commit seq " << c.seq << " of txn " << c.id << "@" << c.epoch
+           << " happens-before a commit with a smaller sequence number";
+        violate(c.index, "commit-order-inversion", os.str());
+      }
+      for (int j = 0; j < kMaxIds; j++)
+        if (c.vc.c[j] > maxSeen[j]) maxSeen[j] = c.vc.c[j];
+    }
+    // End-of-trace balance checks need a complete trace: a dropped
+    // release would otherwise read as "still held".
+    if (!rep.complete) return;
+    for (const LockState& L : locks)
+      for (const Holder& h : L.holders) {
+        std::ostringstream os;
+        os << "txn " << h.id << "@" << h.epoch << " never releases "
+           << (L.name.empty() ? "<anonymous lock>" : L.name) << " ("
+           << mode_name(h.write) << ")";
+        violate(h.acqIndex, "unreleased-lock", os.str());
+      }
+  }
+};
+
+}  // namespace
+
+Report check(const std::vector<Rec>& trace, uint64_t droppedEvents) {
+  Checker ck;
+  ck.rep.droppedEvents = droppedEvents;
+  ck.rep.complete = droppedEvents == 0;
+  ck.run(trace, sorted_order(trace));
+  return ck.rep;
+}
+
+std::vector<Rec> from_obs(const std::vector<obs::Event>& events) {
+  std::vector<Rec> out;
+  out.reserve(events.size());
+  for (const obs::Event& e : events) {
+    Rec r;
+    r.kind = e.kind;
+    r.txn = e.txnId;
+    r.epoch = e.epoch;
+    r.other = e.other;
+    r.seq = e.seq;
+    r.write = e.wantWrite;
+    r.lockKey = e.lockAddr;
+    r.lockName = obs::lock_name(e);
+    r.ord = e.ordinal;
+    r.ts = e.timestampNanos;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+bool read_trace(const std::string& path, std::vector<Rec>& out,
+                uint64_t& droppedEvents) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (!f) return false;
+  out.clear();
+  droppedEvents = 0;
+  char line[1024];
+  size_t lineNo = 0;
+  bool ok = true;
+  while (std::fgets(line, sizeof line, f)) {
+    lineNo++;
+    if (line[0] == '#') {
+      unsigned long long d = 0;
+      if (const char* p = std::strstr(line, "dropped="))
+        if (std::sscanf(p, "dropped=%llu", &d) == 1) droppedEvents = d;
+      continue;
+    }
+    if (line[0] == '\n' || line[0] == '\0') continue;
+    char kindName[64] = {0};
+    int txn = -1, other = -1, w = 0;
+    unsigned long long epoch = 0, seq = 0, ord = 0, ts = 0, dur = 0, addr = 0;
+    const int got = std::sscanf(
+        line,
+        "%63s txn=%d epoch=%llu other=%d seq=%llu w=%d ord=%llu ts=%llu "
+        "dur=%llu addr=%llx",
+        kindName, &txn, &epoch, &other, &seq, &w, &ord, &ts, &dur, &addr);
+    // addr is printed as 0x...; %llx after the literal mismatch — retry
+    // with the 0x prefix consumed explicitly.
+    bool parsed = got == 10;
+    if (!parsed) {
+      parsed = std::sscanf(line,
+                           "%63s txn=%d epoch=%llu other=%d seq=%llu w=%d "
+                           "ord=%llu ts=%llu dur=%llu addr=0x%llx",
+                           kindName, &txn, &epoch, &other, &seq, &w, &ord, &ts,
+                           &dur, &addr) == 10;
+    }
+    if (!parsed) {
+      std::fprintf(stderr, "sbd_oracle: %s:%zu: unparseable line\n",
+                   path.c_str(), lineNo);
+      ok = false;
+      continue;
+    }
+    Rec r;
+    r.kind = obs::EventKind::kAborted;
+    bool known = false;
+    for (int k = 0; k <= static_cast<int>(obs::EventKind::kThreadExit); k++) {
+      const auto kk = static_cast<obs::EventKind>(k);
+      if (std::strcmp(obs::event_kind_name(kk), kindName) == 0) {
+        r.kind = kk;
+        known = true;
+        break;
+      }
+    }
+    if (!known) continue;  // forward-compat: skip unknown kinds
+    r.txn = txn;
+    r.epoch = epoch;
+    r.other = other;
+    r.seq = seq;
+    r.write = w != 0;
+    r.lockKey = addr;
+    r.ord = ord;
+    r.ts = ts;
+    if (const char* p = std::strstr(line, "name=")) {
+      std::string name(p + 5);
+      while (!name.empty() && (name.back() == '\n' || name.back() == '\r'))
+        name.pop_back();
+      r.lockName = std::move(name);
+    }
+    out.push_back(std::move(r));
+  }
+  std::fclose(f);
+  return ok;
+}
+
+std::string format_event(const Rec& r) {
+  std::ostringstream os;
+  os << obs::event_kind_name(r.kind);
+  if (r.txn >= 0) {
+    os << " txn " << r.txn;
+    if (r.epoch != 0) os << "@" << r.epoch;
+  }
+  switch (r.kind) {
+    case obs::EventKind::kAcquire:
+      os << (r.other == 1 ? " upgrade" : "") << " " << mode_name(r.write);
+      break;
+    case obs::EventKind::kRelease:
+      os << " " << mode_name(r.write) << (r.other == 1 ? " (commit)" : " (abort)");
+      break;
+    case obs::EventKind::kCommitOrder:
+      os << " seq=" << r.seq;
+      break;
+    case obs::EventKind::kDeadlock:
+      os << " victim=" << r.other << "@" << r.seq;
+      break;
+    default:
+      break;
+  }
+  if (!r.lockName.empty() && r.lockName != "-") os << " lock=" << r.lockName;
+  os << " [ord " << r.ord << "]";
+  return os.str();
+}
+
+std::string format_windows(const std::vector<Rec>& trace, const Report& rep,
+                           size_t context) {
+  if (rep.violations.empty()) return "";
+  const std::vector<size_t> order = sorted_order(trace);
+  std::ostringstream os;
+  for (const Violation& v : rep.violations) {
+    os << "violation [" << v.rule << "]: " << v.detail << "\n";
+    const size_t lo = v.index > context ? v.index - context : 0;
+    const size_t hi = std::min(order.size(), v.index + context + 1);
+    for (size_t i = lo; i < hi; i++)
+      os << (i == v.index ? "  >> " : "     ") << "#" << i << " "
+         << format_event(trace[order[i]]) << "\n";
+  }
+  if (rep.truncated)
+    os << "(violation list truncated at " << rep.violations.size() << ")\n";
+  return os.str();
+}
+
+std::string summary_line(const Report& rep) {
+  std::ostringstream os;
+  if (rep.ok())
+    os << "oracle: OK";
+  else
+    os << "oracle: " << rep.violations.size() << (rep.truncated ? "+" : "")
+       << " violation(s)";
+  os << " — " << rep.events << " events, " << rep.txns << " txn incarnations, "
+     << rep.acquires << " acquires, " << rep.releases << " releases, "
+     << rep.commits << " ordered commits, " << rep.threadExits
+     << " thread exits";
+  if (!rep.complete)
+    os << " [INCOMPLETE: " << rep.droppedEvents
+       << " dropped events; end-of-trace checks skipped]";
+  return os.str();
+}
+
+}  // namespace sbd::oracle

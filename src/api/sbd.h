@@ -17,6 +17,7 @@
 #pragma once
 
 #include "common/check.h"
+#include "core/obs.h"
 #include "core/transaction.h"
 #include "runtime/field_access.h"
 #include "runtime/heap.h"
@@ -126,6 +127,23 @@ inline void hint_lock_granularity(runtime::ClassInfo* cls, LockGranularity g,
                                   uint32_t stripes = 4) {
   runtime::lockplan::hint_class_map(cls, runtime::lockplan::make_map(g, stripes));
 }
+
+// --- Tracing / oracle controls (core/obs) -----------------------------------
+namespace trace {
+
+// Contention + lifecycle tracing (kBlocked/kGranted/kDeadlock/...).
+inline void set_enabled(bool on) { obs::set_enabled(on); }
+
+// Full lock trace (kAcquire/kRelease/kCommitOrder) — the input of the
+// sbd::oracle happens-before checker (tools/sbd_oracle). Implies
+// set_enabled(true).
+inline void set_full(bool on) { obs::set_full_trace(on); }
+
+// Block-on-overflow recording for complete traces; requires a
+// concurrent obs::drain() loop on a non-SBD thread.
+inline void set_lossless(bool on) { obs::set_lossless(on); }
+
+}  // namespace trace
 
 // Re-exports for user code.
 using runtime::ByteArray;

@@ -63,6 +63,9 @@ const char* site_name(Site s) {
     case Site::kSocketReset:   return "socket-reset";
     case Site::kDbCommit:      return "db-commit-fault";
     case Site::kDbLockTimeout: return "db-lock-timeout";
+    case Site::kReplanVeto:    return "replan-veto-delay";
+    case Site::kReplanSwap:    return "replan-swap-delay";
+    case Site::kReplanPoll:    return "replan-poll-delay";
   }
   return "?";
 }

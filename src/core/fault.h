@@ -32,8 +32,11 @@ enum class Site : int {
   kSocketReset,      // connection reset by peer on the loopback network (net/loopback.cpp)
   kDbCommit,         // transient commit-fence fault in the embedded DB (db/db.cpp)
   kDbLockTimeout,    // spurious lock-wait timeout (DbDeadlock) in the embedded DB (db/db.cpp)
+  kReplanVeto,       // delay the re-plan veto scan while the world is stopped (runtime/lockplan.cpp)
+  kReplanSwap,       // delay the re-plan lock-map swap while the world is stopped (runtime/lockplan.cpp)
+  kReplanPoll,       // delay a mutator reaching its safepoint park (core/safepoint.cpp)
 };
-inline constexpr int kNumSites = 10;
+inline constexpr int kNumSites = 13;
 
 const char* site_name(Site s);
 

@@ -1,12 +1,14 @@
 #include "core/obs.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "common/timing.h"
 #include "core/degrade.h"
@@ -25,6 +27,16 @@ std::atomic<bool> gEnabled{[] {
   const char* e = std::getenv("SBD_TRACE");
   return e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0;
 }()};
+std::atomic<bool> gFullTrace{[] {
+  const char* e = std::getenv("SBD_TRACE");
+  if (e != nullptr && std::strcmp(e, "full") == 0) return true;
+  const char* f = std::getenv("SBD_TRACE_FULL");
+  return f != nullptr && *f != '\0' && std::strcmp(f, "0") != 0;
+}()};
+std::atomic<bool> gLossless{[] {
+  const char* e = std::getenv("SBD_TRACE_LOSSLESS");
+  return e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0;
+}()};
 thread_local uint32_t tDurTick = 0;
 }  // namespace detail
 
@@ -40,7 +52,7 @@ namespace {
 // tail, which the producer acquires before overwriting — the standard
 // bounded SPSC protocol, so the record path takes no lock ever.
 
-constexpr size_t kRingEntries = 4096;  // power of two; ~192 KiB per thread
+constexpr size_t kRingEntries = 4096;  // power of two; ~320 KiB per thread
 
 struct Ring {
   std::atomic<uint64_t> head{0};     // next slot to write (producer)
@@ -48,6 +60,48 @@ struct Ring {
   std::atomic<uint64_t> dropped{0};  // overflow count (producer)
   Event slots[kRingEntries];
 };
+
+// Global record ordinal. A relaxed fetch_add suffices for the oracle's
+// ordering guarantee: for two records separated by a happens-before
+// edge (the release record is sequenced before the word-clearing CAS,
+// which synchronizes with the acquiring CAS sequenced before the
+// acquire record), write-write coherence forces the earlier record to
+// draw the smaller ordinal.
+std::atomic<uint64_t> gOrdinal{0};
+
+// Global commit sequence (see next_commit_seq in the header).
+std::atomic<uint64_t> gCommitSeq{0};
+
+// Lossless mode gives up after this long without drain progress so a
+// missing drainer degrades to drop-and-count instead of a hang.
+constexpr uint64_t kLosslessMaxWaitNanos = 5'000'000'000ull;
+
+// Appends one fully-formed event to `r`, dropping on overflow. Split
+// out of record() so ~RingHolder can stamp kThreadExit into its ring
+// directly (my_ring() must not run during TLS destruction).
+void append_event(Ring& r, EventKind kind, int txnId, int other, uint64_t lockAddr,
+                  const runtime::ClassInfo* cls, uint32_t lockIndex, bool wantWrite,
+                  uint64_t durationNanos, uint64_t epoch, uint64_t seq) {
+  const uint64_t h = r.head.load(std::memory_order_relaxed);
+  if (h - r.tail.load(std::memory_order_acquire) >= kRingEntries) {
+    r.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Event& e = r.slots[h & (kRingEntries - 1)];
+  e.kind = kind;
+  e.wantWrite = wantWrite;
+  e.txnId = txnId;
+  e.other = other;
+  e.lockIndex = lockIndex;
+  e.cls = cls;
+  e.lockAddr = lockAddr;
+  e.ordinal = gOrdinal.fetch_add(1, std::memory_order_relaxed) + 1;
+  e.timestampNanos = now_nanos();
+  e.durationNanos = durationNanos;
+  e.epoch = epoch;
+  e.seq = seq;
+  r.head.store(h + 1, std::memory_order_release);
+}
 
 std::mutex gRingMu;                // registration + drain only, never record
 // Both registries are leaked on purpose: threads joined from atexit
@@ -70,6 +124,13 @@ struct RingHolder {
   Ring* r = nullptr;
   ~RingHolder() {
     if (!r) return;
+    // End-of-stream marker: once this ring is adopted by another thread
+    // the oracle needs to distinguish "the original thread's trace
+    // ends here" from "events were lost". Drops (never blocks) on a
+    // full ring — TLS destruction must not wait on a drainer.
+    if (enabled())
+      append_event(*r, EventKind::kThreadExit, -1, -1, 0, nullptr, kNoIndex,
+                   false, 0, 0, 0);
     std::lock_guard<std::mutex> lk(gRingMu);
     free_rings().push_back(r);
     r = nullptr;
@@ -159,6 +220,38 @@ std::string json_escape(const std::string& s) {
 
 void set_enabled(bool on) { detail::gEnabled.store(on, std::memory_order_release); }
 
+void set_full_trace(bool on) {
+  detail::gFullTrace.store(on, std::memory_order_release);
+  if (on) detail::gEnabled.store(true, std::memory_order_release);
+}
+
+void set_lossless(bool on) { detail::gLossless.store(on, std::memory_order_release); }
+
+uint64_t next_commit_seq() {
+  return gCommitSeq.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kBlocked: return "blocked";
+    case EventKind::kGranted: return "granted";
+    case EventKind::kDeadlock: return "deadlock";
+    case EventKind::kAborted: return "aborted";
+    case EventKind::kWatchdogStall: return "watchdog-stall";
+    case EventKind::kIdPoolStall: return "idpool-stall";
+    case EventKind::kEscalated: return "escalated";
+    case EventKind::kCommit: return "commit";
+    case EventKind::kSplit: return "split";
+    case EventKind::kGcPause: return "gc-pause";
+    case EventKind::kSafepointStop: return "safepoint-stop";
+    case EventKind::kAcquire: return "acquire";
+    case EventKind::kRelease: return "release";
+    case EventKind::kCommitOrder: return "commit-order";
+    case EventKind::kThreadExit: return "thread-exit";
+  }
+  return "?";
+}
+
 LockSym symbolize(const runtime::ManagedObject* obj, const core::LockWord* word) {
   LockSym sym;
   if (!obj) return sym;
@@ -173,34 +266,41 @@ LockSym symbolize(const runtime::ManagedObject* obj, const core::LockWord* word)
 
 void record(EventKind kind, int txnId, int other, const void* lockAddr,
             const runtime::ClassInfo* cls, uint32_t lockIndex, bool wantWrite,
-            uint64_t durationNanos) {
+            uint64_t durationNanos, uint64_t epoch, uint64_t seq) {
   if (!enabled()) return;
   if (kind == EventKind::kBlocked) bump_hot(cls, lockIndex, wantWrite);
   Ring& r = my_ring();
-  const uint64_t h = r.head.load(std::memory_order_relaxed);
+  uint64_t h = r.head.load(std::memory_order_relaxed);
   if (h - r.tail.load(std::memory_order_acquire) >= kRingEntries) {
-    r.dropped.fetch_add(1, std::memory_order_relaxed);  // bounded: never block
-    return;
+    if (!lossless()) {
+      r.dropped.fetch_add(1, std::memory_order_relaxed);  // bounded: never block
+      return;
+    }
+    // Lossless: poll for drain progress. Bounded by kLosslessMaxWaitNanos
+    // so a run without a drainer thread stalls, then degrades to a
+    // counted drop rather than hanging forever.
+    const uint64_t t0 = now_nanos();
+    for (;;) {
+      std::this_thread::sleep_for(std::chrono::microseconds(10));
+      if (h - r.tail.load(std::memory_order_acquire) < kRingEntries) break;
+      if (now_nanos() - t0 >= kLosslessMaxWaitNanos || !lossless()) {
+        r.dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
   }
-  Event& e = r.slots[h & (kRingEntries - 1)];
-  e.kind = kind;
-  e.wantWrite = wantWrite;
-  e.txnId = txnId;
-  e.other = other;
-  e.lockIndex = lockIndex;
-  e.cls = cls;
-  e.lockAddr = reinterpret_cast<uint64_t>(lockAddr);
-  e.timestampNanos = now_nanos();
-  e.durationNanos = durationNanos;
-  r.head.store(h + 1, std::memory_order_release);
+  append_event(r, kind, txnId, other, reinterpret_cast<uint64_t>(lockAddr), cls,
+               lockIndex, wantWrite, durationNanos, epoch, seq);
 }
 
 void record_lock_event(EventKind kind, int txnId, int other,
                        const runtime::ManagedObject* obj, const core::LockWord* word,
-                       bool wantWrite, uint64_t durationNanos) {
+                       bool wantWrite, uint64_t durationNanos, uint64_t epoch,
+                       uint64_t seq) {
   if (!enabled()) return;
   const LockSym sym = symbolize(obj, word);
-  record(kind, txnId, other, word, sym.cls, sym.index, wantWrite, durationNanos);
+  record(kind, txnId, other, word, sym.cls, sym.index, wantWrite, durationNanos,
+         epoch, seq);
 }
 
 // ---------------------------------------------------------------------------
@@ -218,8 +318,12 @@ std::vector<Event> drain() {
       r->tail.store(t, std::memory_order_release);
     }
   }
+  // Timestamp primary (human-readable traces stay chronological), the
+  // global ordinal breaking ties — which is exactly the ambiguous case
+  // the oracle needs resolved for conflicting lock operations.
   std::stable_sort(out.begin(), out.end(), [](const Event& a, const Event& b) {
-    return a.timestampNanos < b.timestampNanos;
+    if (a.timestampNanos != b.timestampNanos) return a.timestampNanos < b.timestampNanos;
+    return a.ordinal < b.ordinal;
   });
   return out;
 }
@@ -284,6 +388,7 @@ std::string summarize(const std::vector<Event>& events) {
   std::map<std::string, LockStats> byLock;
   uint64_t deadlocks = 0, aborts = 0, stalls = 0, idStalls = 0, escalations = 0;
   uint64_t commits = 0, splits = 0, gcPauses = 0, spStops = 0;
+  uint64_t acquires = 0, releases = 0, commitOrders = 0, threadExits = 0;
   for (const Event& e : events) {
     switch (e.kind) {
       case EventKind::kBlocked: {
@@ -325,6 +430,18 @@ std::string summarize(const std::vector<Event>& events) {
       case EventKind::kSafepointStop:
         spStops++;
         break;
+      case EventKind::kAcquire:
+        acquires++;
+        break;
+      case EventKind::kRelease:
+        releases++;
+        break;
+      case EventKind::kCommitOrder:
+        commitOrders++;
+        break;
+      case EventKind::kThreadExit:
+        threadExits++;
+        break;
     }
   }
   std::ostringstream os;
@@ -337,6 +454,10 @@ std::string summarize(const std::vector<Event>& events) {
     os << ", " << commits << " commit / " << splits << " split samples";
   if (gcPauses || spStops)
     os << ", " << gcPauses << " gc pauses, " << spStops << " safepoint stops";
+  if (acquires || releases || commitOrders)
+    os << ", full trace: " << acquires << " acquires / " << releases
+       << " releases / " << commitOrders << " ordered commits";
+  if (threadExits) os << ", " << threadExits << " thread exits";
   os << "\n";
   for (const auto& [name, s] : byLock) {
     os << "  lock " << name << ": blocked " << s.blocks << "x (" << s.writes
@@ -350,6 +471,31 @@ std::string summarize(const std::vector<Event>& events) {
     os << "\n";
   }
   return os.str();
+}
+
+bool write_trace(const std::string& path, const std::vector<Event>& events,
+                 uint64_t droppedEvents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  bool ok = std::fprintf(f, "# sbd-trace v1\n# dropped=%llu recorded=%zu\n",
+                         static_cast<unsigned long long>(droppedEvents),
+                         events.size()) > 0;
+  for (const Event& e : events) {
+    // The symbolic lock name goes last so it may contain spaces.
+    ok = ok && std::fprintf(
+                   f,
+                   "%s txn=%d epoch=%llu other=%d seq=%llu w=%d ord=%llu "
+                   "ts=%llu dur=%llu addr=0x%llx name=%s\n",
+                   event_kind_name(e.kind), e.txnId,
+                   static_cast<unsigned long long>(e.epoch), e.other,
+                   static_cast<unsigned long long>(e.seq), e.wantWrite ? 1 : 0,
+                   static_cast<unsigned long long>(e.ordinal),
+                   static_cast<unsigned long long>(e.timestampNanos),
+                   static_cast<unsigned long long>(e.durationNanos),
+                   static_cast<unsigned long long>(e.lockAddr),
+                   lock_name(e).c_str()) > 0;
+  }
+  return std::fclose(f) == 0 && ok;
 }
 
 // ---------------------------------------------------------------------------
@@ -435,7 +581,8 @@ std::string metrics_json() {
   const runtime::lockplan::Counters lpc = runtime::lockplan::counters();
   os << "\"mode\": \"" << runtime::lockplan::mode_name() << "\""
      << ", \"cycles\": " << lpc.cycles << ", \"replans\": " << lpc.replans
-     << ", \"vetoed\": " << lpc.vetoed << ", \"stops\": " << lpc.stops;
+     << ", \"vetoed\": " << lpc.vetoed << ", \"stops\": " << lpc.stops
+     << ", \"wedged\": " << lpc.wedged;
   os << "},\n  \"watchdog\": {";
   os << "\"stalls\": " << core::Watchdog::stalls_detected()
      << ", \"victims\": " << core::Watchdog::victims_aborted();
@@ -444,6 +591,8 @@ std::string metrics_json() {
      << ", \"retryBudget\": " << core::degrade::retry_budget();
   os << "},\n  \"trace\": {";
   os << "\"enabled\": " << (enabled() ? "true" : "false")
+     << ", \"full\": " << (full_trace() ? "true" : "false")
+     << ", \"lossless\": " << (lossless() ? "true" : "false")
      << ", \"recorded\": " << recorded() << ", \"dropped\": " << dropped()
      << ", \"pending\": " << approx_size()
      << ", \"hotTableOverflow\": " << gHotOverflow.load(std::memory_order_relaxed);

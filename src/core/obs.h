@@ -39,7 +39,9 @@ namespace sbd::obs {
 
 // The first seven kinds mirror the original §6 debug mode (and keep
 // their order: core/debug.h aliases this enum); the rest are the
-// duration events of the always-on tracer.
+// duration events of the always-on tracer and (after kSafepointStop)
+// the full-trace events consumed by the sbd::oracle happens-before
+// checker. New kinds must be APPENDED: the order is pinned.
 enum class EventKind : uint8_t {
   kBlocked,        // a transaction entered a wait queue
   kGranted,        // ...and eventually got the lock (duration = wait latency)
@@ -52,7 +54,13 @@ enum class EventKind : uint8_t {
   kSplit,          // sampled: one split_section, duration incl. the commit
   kGcPause,        // one GC stop-the-world, duration = full pause
   kSafepointStop,  // one stop_world, duration = time to stop all threads
+  kAcquire,        // full-trace: a lock was granted (`other` 1 = read->write upgrade)
+  kRelease,        // full-trace: a lock was released (`other` 1 = commit, 0 = abort)
+  kCommitOrder,    // full-trace: commit sequence drawn while locks held (`seq`)
+  kThreadExit,     // the recording thread retired its ring (end of its stream)
 };
+
+const char* event_kind_name(EventKind k);
 
 // Marks "lock index unknown" in symbolized events (e.g. an event that
 // only carries a raw address, or a word outside its object's array).
@@ -62,12 +70,24 @@ struct Event {
   EventKind kind;
   bool wantWrite;
   int txnId;   // who the event happened to (-1 if n/a)
-  int other;   // victim id (kDeadlock), -1 otherwise
+  int other;   // victim id (kDeadlock), upgrade/commit flag (kAcquire/kRelease), -1 otherwise
   uint32_t lockIndex;                // lock-word index in the instance, or kNoIndex
   const runtime::ClassInfo* cls;     // symbolic identity; null if unknown
   uint64_t lockAddr;                 // raw word address (0 if n/a); NOT stable
   uint64_t timestampNanos;
   uint64_t durationNanos;            // kGranted: wait latency; k*Pause/kCommit/kSplit
+  // Transaction epoch: Transaction::start_seq() at record time, so the
+  // oracle can tell recycled txn ids apart (0 = no transaction).
+  uint64_t epoch;
+  // kCommitOrder: the global commit sequence number; kDeadlock: the
+  // victim's epoch (start_seq); 0 otherwise.
+  uint64_t seq;
+  // Global record ordinal: the modification order of one atomic counter,
+  // drawn inside record(). For two conflicting lock operations (release
+  // recorded BEFORE the word is cleared, acquire recorded AFTER the CAS)
+  // ordinal order is guaranteed to match real-time order even when the
+  // clock ties — the tie-break the oracle's replay relies on.
+  uint64_t ordinal;
 };
 
 // Symbolic identity of one lock word, resolved against the instance
@@ -79,6 +99,8 @@ struct LockSym {
 
 namespace detail {
 extern std::atomic<bool> gEnabled;
+extern std::atomic<bool> gFullTrace;
+extern std::atomic<bool> gLossless;
 extern thread_local uint32_t tDurTick;
 }  // namespace detail
 
@@ -91,6 +113,29 @@ inline constexpr uint32_t kDurationSamplePeriod = 64;
 // SBD_TRACE environment variable is set to a non-"0" value.
 void set_enabled(bool on);
 inline bool enabled() { return detail::gEnabled.load(std::memory_order_relaxed); }
+
+// Full-trace mode: additionally record kAcquire/kRelease/kCommitOrder
+// on every lock grant, release, and commit — the input the sbd::oracle
+// happens-before checker needs. Costs one relaxed load per hot-path
+// site while off. Implies enabled(). Auto-enabled at startup by
+// SBD_TRACE=full or SBD_TRACE_FULL=1.
+void set_full_trace(bool on);
+inline bool full_trace() { return detail::gFullTrace.load(std::memory_order_relaxed); }
+
+// Lossless mode: on ring overflow record() blocks (polling the ring
+// tail) until a drainer makes room, instead of dropping. Only safe with
+// a concurrent drain() loop on a non-SBD thread; as a liveness backstop
+// a producer gives up after ~5s of no progress and falls back to
+// drop-and-count. Default off (the bounded-buffer "never block" policy
+// stands). Auto-enabled at startup by SBD_TRACE_LOSSLESS=1.
+void set_lossless(bool on);
+inline bool lossless() { return detail::gLossless.load(std::memory_order_relaxed); }
+
+// Draws the next global commit sequence number (first call returns 1).
+// commit_section draws it while every lock is still held, so the
+// per-lock release->acquire order implies commit-sequence order — the
+// linearization fact the oracle verifies.
+uint64_t next_commit_seq();
 
 // True on every kDurationSamplePeriod-th call per thread while enabled;
 // callers bracket their duration measurement with it.
@@ -107,15 +152,19 @@ inline bool sample_duration() {
 LockSym symbolize(const runtime::ManagedObject* obj, const core::LockWord* word);
 
 // Records one event into the calling thread's ring (lock-free; drops
-// and counts on overflow). No-op while disabled.
+// and counts on overflow unless lossless() — see above). No-op while
+// disabled. `epoch` is the recording transaction's start_seq (0 = no
+// txn); `seq` is the commit sequence (kCommitOrder) or victim epoch
+// (kDeadlock).
 void record(EventKind kind, int txnId, int other, const void* lockAddr,
             const runtime::ClassInfo* cls, uint32_t lockIndex, bool wantWrite,
-            uint64_t durationNanos = 0);
+            uint64_t durationNanos = 0, uint64_t epoch = 0, uint64_t seq = 0);
 
 // Convenience: record + symbolize in one step for lock-carrying events.
 void record_lock_event(EventKind kind, int txnId, int other,
                        const runtime::ManagedObject* obj, const core::LockWord* word,
-                       bool wantWrite, uint64_t durationNanos = 0);
+                       bool wantWrite, uint64_t durationNanos = 0,
+                       uint64_t epoch = 0, uint64_t seq = 0);
 
 // Drains every thread's ring and returns the merged trace, oldest
 // first (merged by timestamp).
@@ -139,6 +188,13 @@ std::string lock_name(const Event& e);
 // workflow needs: "which locks block whom, how often" — keyed on
 // symbolic identity, with average granted-wait latency when available.
 std::string summarize(const std::vector<Event>& events);
+
+// Writes a drained trace as the "# sbd-trace v1" text format that
+// tools/sbd_oracle reads back (one event per line, symbolic lock name
+// last). `droppedEvents` goes into the header so the oracle knows
+// whether the trace is complete. Returns false on I/O error.
+bool write_trace(const std::string& path, const std::vector<Event>& events,
+                 uint64_t droppedEvents);
 
 // --- Hot-lock contention table ---------------------------------------------
 // A small fixed-size concurrent table bumped on every kBlocked record,

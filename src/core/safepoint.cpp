@@ -1,8 +1,11 @@
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 
 #include "common/check.h"
 #include "common/timing.h"
+#include "core/fault.h"
 #include "core/obs.h"
 #include "core/transaction.h"
 
@@ -47,6 +50,11 @@ Safepoint::SafeScope::~SafeScope() {
 }
 
 void Safepoint::park(ThreadContext& tc) {
+  // Fault site: a mutator slow to reach its safepoint. This is what a
+  // wedged stop-the-world looks like from the stopper's side, so chaos
+  // can drive the re-plan budget/watchdog recovery path.
+  if (const uint64_t d = fault::fire_delay_nanos(fault::Site::kReplanPoll))
+    std::this_thread::sleep_for(std::chrono::nanoseconds(d));
   spill(tc);
   std::unique_lock<std::mutex> lk(gSpMu);
   if (!stopRequested_.load(std::memory_order_acquire)) return;
@@ -57,7 +65,18 @@ void Safepoint::park(ThreadContext& tc) {
 }
 
 void Safepoint::stop_world(ThreadContext& requester) {
-  const uint64_t t0 = obs::enabled() ? now_nanos() : 0;
+  const bool stopped = try_stop_world(requester, /*timeoutNanos=*/0, nullptr);
+  SBD_CHECK(stopped);  // unbounded: can only return true
+}
+
+bool Safepoint::try_stop_world(ThreadContext& requester, uint64_t timeoutNanos,
+                               const std::atomic<bool>* cancel) {
+  const uint64_t t0 = now_nanos();
+  const uint64_t deadline = timeoutNanos == 0 ? 0 : t0 + timeoutNanos;
+  const auto give_up = [&] {
+    if (cancel && cancel->load(std::memory_order_acquire)) return true;
+    return deadline != 0 && now_nanos() >= deadline;
+  };
   // While queueing behind another stopper (GC, sampler, lock re-plan),
   // the requester must count as stopped, or the incumbent waits on us
   // forever while we wait on it: spill and go safe for the wait.
@@ -66,7 +85,16 @@ void Safepoint::stop_world(ThreadContext& requester) {
                         std::memory_order_release);
   std::unique_lock<std::mutex> lk(gSpMu);
   gSpCv.notify_all();
-  gSpCv.wait(lk, [] { return gStopper == nullptr; });
+  // The incumbent's stop counts against our budget too: a wedged GC or
+  // re-plan ahead of us must not wedge us as well.
+  while (gStopper != nullptr) {
+    if (give_up()) {
+      requester.state.store(static_cast<int>(ThreadState::kRunning),
+                            std::memory_order_release);
+      return false;
+    }
+    gSpCv.wait_for(lk, std::chrono::microseconds(100));
+  }
   requester.state.store(static_cast<int>(ThreadState::kRunning),
                         std::memory_order_release);
   gStopper = &requester;
@@ -83,11 +111,20 @@ void Safepoint::stop_world(ThreadContext& requester) {
         allStopped = false;
     });
     if (allStopped) break;  // gSpMu releases; world stays stopped via flag
+    if (give_up()) {
+      // Abandon the stop: un-request it and release whoever already
+      // parked. The world keeps running; the caller must NOT resume.
+      gStopper = nullptr;
+      stopRequested_.store(false, std::memory_order_release);
+      gSpCv.notify_all();
+      return false;
+    }
     gSpCv.wait_for(lk, std::chrono::microseconds(100));
   }
-  if (t0 != 0)
+  if (obs::enabled())
     obs::record(obs::EventKind::kSafepointStop, requester.txn.id(), -1, nullptr,
                 nullptr, obs::kNoIndex, false, now_nanos() - t0);
+  return true;
 }
 
 void Safepoint::resume_world(ThreadContext& requester) {

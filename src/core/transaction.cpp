@@ -243,8 +243,15 @@ void commit_section(ThreadContext& tc) {
   for (TxResource* r : tc.txn.resources_) r->on_commit();
   // 2. Publish new instances: locks pointer null -> UNALLOC (§3.3).
   tc.txn.initLog_.for_each([](runtime::ManagedObject* o) { runtime::publish_new_object(o); });
+  // 2b. Full trace: draw the global commit sequence number while every
+  //     lock is still held, so the per-lock release->acquire order
+  //     implies commit-sequence order — the linearization fact the
+  //     sbd::oracle checker verifies offline.
+  if (obs::full_trace())
+    obs::record(obs::EventKind::kCommitOrder, tc.txn.id(), -1, nullptr, nullptr,
+                obs::kNoIndex, false, 0, tc.txn.start_seq(), obs::next_commit_seq());
   // 3. Release all field/element locks and wake waiters.
-  LockEngine::release_all(tc);
+  LockEngine::release_all(tc, /*committed=*/true);
   TxnManager::instance().digest_slot(tc.txn.id()).store(0, std::memory_order_release);
   // 4. Run deferred actions (thread starts, notifies) after locks are
   //    free, so the released condition is observable (§3.5).
@@ -258,7 +265,7 @@ void commit_section(ThreadContext& tc) {
   degrade::on_commit(tc);
   if (traceStart != 0)
     obs::record(obs::EventKind::kCommit, tc.txn.id(), -1, nullptr, nullptr,
-                obs::kNoIndex, false, now_nanos() - traceStart);
+                obs::kNoIndex, false, now_nanos() - traceStart, tc.txn.start_seq());
 }
 
 void split_section(ThreadContext& tc) {
@@ -309,12 +316,12 @@ void abort_and_restart(ThreadContext& tc) {
   // 2. Eager version management: restore old values, newest first.
   tc.txn.undoLog_.for_each_reverse([](UndoEntry& ue) { *ue.slot = ue.oldValue; });
   // 3. Release locks; instances in the init log become garbage.
-  LockEngine::release_all(tc);
+  LockEngine::release_all(tc, /*committed=*/false);
   TxnManager::instance().digest_slot(tc.txn.id()).store(0, std::memory_order_release);
   clear_section_state(tc);
   tc.stats.aborts++;
   obs::record(obs::EventKind::kAborted, tc.txn.id(), -1, nullptr, nullptr,
-              obs::kNoIndex, false);
+              obs::kNoIndex, false, 0, tc.txn.start_seq());
   // 4. Graceful degradation: over the retry budget this blocks for the
   //    global serialization token (we hold no locks here) so the retry
   //    runs serialized instead of feeding the abort storm.
@@ -397,8 +404,11 @@ bool update_digest_and_resolve(ThreadContext& tc, WaitQueue& q, LockWord w) {
   // victim and the contended lock (the DebugEvent::other contract) —
   // the §6 workflow needs to know who lost, not just that a cycle
   // happened. q's binding is stable here: we hold q.mu and are enqueued.
+  // The victim's epoch (start_seq) rides in `seq` so the offline oracle
+  // can verify the victim actually participated (it must have a prior
+  // kBlocked with the same id + epoch).
   obs::record_lock_event(obs::EventKind::kDeadlock, myId, victim, q.boundObj,
-                         q.boundWord, false);
+                         q.boundWord, false, 0, tc.txn.start_seq(), victimSeq);
   if (victim == myId) return true;
   mgr.request_abort(victim, victimSeq);
   return false;
@@ -430,7 +440,7 @@ void slow_acquire(ThreadContext& tc, runtime::ManagedObject* obj, LockWord* word
   tc.stats.contendedAcquires++;
   runtime::lockplan::note_contention(obj);
   obs::record_lock_event(obs::EventKind::kBlocked, myId, -1, obj, word,
-                         wantWrite || upgrader);
+                         wantWrite || upgrader, 0, tc.txn.start_seq());
   const uint64_t blockStart = now_nanos();
   tc.lockWaitSinceNanos.store(blockStart, std::memory_order_release);
 
@@ -444,9 +454,17 @@ void slow_acquire(ThreadContext& tc, runtime::ManagedObject* obj, LockWord* word
     tc.sectionBlockedNanos += dt;
     // The granted event carries the wait latency, so the trace answers
     // "how long did this lock make us wait", not only "how often".
-    if (granted)
+    if (granted) {
       obs::record_lock_event(obs::EventKind::kGranted, myId, -1, obj, word,
-                             wantWrite || upgrader, dt);
+                             wantWrite || upgrader, dt, tc.txn.start_seq());
+      // Full trace: every grant path funnels through here, and each one
+      // records AFTER its successful CAS — so the acquire event is
+      // ordered after the matching release on the same word.
+      if (obs::full_trace())
+        obs::record_lock_event(obs::EventKind::kAcquire, myId, upgrader ? 1 : 0,
+                               obj, word, wantWrite || upgrader, 0,
+                               tc.txn.start_seq());
+    }
   };
 
   for (;;) {  // (re)attach to the word's queue
@@ -618,6 +636,9 @@ void LockEngine::acquire_read(ThreadContext& tc, runtime::ManagedObject* obj,
                                     std::memory_order_acq_rel)) {
         tc.txn.record_lock(obj, word, false);
         tc.stats.acqRls++;
+        if (obs::full_trace())
+          obs::record_lock_event(obs::EventKind::kAcquire, tc.txn.id(), 0, obj,
+                                 word, false, 0, tc.txn.start_seq());
         return;
       }
       tc.stats.casFailures++;
@@ -646,6 +667,9 @@ void LockEngine::acquire_write(ThreadContext& tc, runtime::ManagedObject* obj,
             if (auto* rec = tc.txn.lockRecords_.find_last_if(
                     [&](const LockRecord& r) { return r.word == word; }))
               rec->write = true;
+            if (obs::full_trace())
+              obs::record_lock_event(obs::EventKind::kAcquire, tc.txn.id(), 1,
+                                     obj, word, true, 0, tc.txn.start_seq());
             return;
           }
           tc.stats.casFailures++;
@@ -689,6 +713,9 @@ void LockEngine::acquire_write(ThreadContext& tc, runtime::ManagedObject* obj,
                                     std::memory_order_acq_rel)) {
         tc.txn.record_lock(obj, word, true);
         tc.stats.acqRls++;
+        if (obs::full_trace())
+          obs::record_lock_event(obs::EventKind::kAcquire, tc.txn.id(), 0, obj,
+                                 word, true, 0, tc.txn.start_seq());
         return;
       }
       tc.stats.casFailures++;
@@ -699,8 +726,9 @@ void LockEngine::acquire_write(ThreadContext& tc, runtime::ManagedObject* obj,
   }
 }
 
-void LockEngine::release_all(ThreadContext& tc) {
+void LockEngine::release_all(ThreadContext& tc, bool committed) {
   const LockWord myBit = tc.txn.mask();
+  const bool fullTrace = obs::full_trace();
   // Batched wake: clear every word first, remembering which queues saw
   // a state change, then notify each distinct queue once. Queue ids are
   // 6 bits (1..63), so a uint64_t bitmask dedups them. A waiter that
@@ -709,6 +737,13 @@ void LockEngine::release_all(ThreadContext& tc) {
   // most one 200us timed-wait tick (waiters always re-check).
   uint64_t wakeMask = 0;
   tc.txn.lockRecords_.for_each_reverse([&](LockRecord& rec) {
+    // Full trace: the release is recorded BEFORE the word is cleared,
+    // so any conflicting acquire (recorded after its CAS) draws a later
+    // ordinal — the happens-before edge the oracle replays.
+    if (fullTrace)
+      obs::record_lock_event(obs::EventKind::kRelease, tc.txn.id(),
+                             committed ? 1 : 0, rec.obj, rec.word, rec.write, 0,
+                             tc.txn.start_seq());
     auto* aw = as_atomic(rec.word);
     LockWord w = aw->load(std::memory_order_acquire);
     LockWord target;

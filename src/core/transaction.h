@@ -340,7 +340,10 @@ class LockEngine {
 
   // Releases every lock in the transaction's record list (commit/abort)
   // and wakes each distinct wait queue once, after all words cleared.
-  static void release_all(ThreadContext& tc);
+  // `committed` distinguishes commit-time from abort-time release in
+  // the full trace (the oracle derives happens-before edges only from
+  // committed releases).
+  static void release_all(ThreadContext& tc, bool committed);
 };
 
 // ---------------------------------------------------------------------------
@@ -371,6 +374,15 @@ class Safepoint {
   // a time; nested stops are programmer error.
   static void stop_world(ThreadContext& requester);
   static void resume_world(ThreadContext& requester);
+
+  // Bounded stop_world: gives up and restores the running world when
+  // `timeoutNanos` elapses (0 = unlimited) or `cancel` (may be null)
+  // becomes true — e.g. a mutator that never reaches a poll, or the
+  // watchdog pulling the plug on a wedged re-plan. Returns true when
+  // the world is stopped (caller must resume_world), false when it
+  // gave up (world keeps running; do NOT resume).
+  static bool try_stop_world(ThreadContext& requester, uint64_t timeoutNanos,
+                             const std::atomic<bool>* cancel = nullptr);
 
   static bool stop_requested() {
     return stopRequested_.load(std::memory_order_relaxed);

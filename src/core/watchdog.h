@@ -29,6 +29,12 @@ class Watchdog {
     // Abort-victim fallback: a transaction still blocked after this
     // (>= stallThresholdNanos) is asked to abort. 0 disables.
     uint64_t abortVictimAfterNanos = 8'000'000'000;
+    // Lockplan-controller heartbeat: a stop-the-world re-plan busy
+    // longer than this is wedged — recorded as a stall and cancelled
+    // via runtime::lockplan::cancel_current_replan(), tripping the
+    // core/degrade wedge accounting instead of hanging the process.
+    // 0 disables.
+    uint64_t replanStallThresholdNanos = 5'000'000'000;
     // Also print one diagnostic line per stall to stderr.
     bool logToStderr = true;
   };

@@ -11,6 +11,9 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/timing.h"
+#include "core/degrade.h"
+#include "core/fault.h"
 #include "core/stats.h"
 #include "core/transaction.h"
 #include "runtime/heap.h"
@@ -68,6 +71,44 @@ std::atomic<uint64_t> gCycles{0};
 std::atomic<uint64_t> gReplans{0};
 std::atomic<uint64_t> gVetoed{0};
 std::atomic<uint64_t> gStops{0};
+std::atomic<uint64_t> gWedged{0};
+
+// Wedge-recovery state: the heartbeat the watchdog polls, the cancel
+// flag it raises, and the stop-the-world budget.
+std::atomic<uint64_t> gReplanBusySince{0};
+std::atomic<bool> gReplanCancel{false};
+std::atomic<uint64_t> gReplanBudgetNanos{[] {
+  const char* e = std::getenv("SBD_REPLAN_BUDGET_MS");
+  const long x = e ? std::strtol(e, nullptr, 10) : -1;
+  if (x < 0) return uint64_t{2'000'000'000};  // default 2s
+  return static_cast<uint64_t>(x) * 1'000'000;
+}()};
+
+// RAII heartbeat for one re-plan cycle (scoped under gReplanMu, so at
+// most one episode is live). The ctor clears any cancel left over from
+// a race with the watchdog cancelling the *previous* episode; a cancel
+// that slips in right after only costs one spuriously-skipped cycle.
+struct ReplanEpisode {
+  ReplanEpisode() {
+    gReplanCancel.store(false, std::memory_order_release);
+    gReplanBusySince.store(now_nanos(), std::memory_order_release);
+  }
+  ~ReplanEpisode() { gReplanBusySince.store(0, std::memory_order_release); }
+};
+
+// Bounded stop-the-world for a re-plan. False = wedged (budget elapsed
+// or watchdog cancel): counted, reported to degrade, maps untouched.
+bool stop_world_for_replan(core::ThreadContext& tc) {
+  const bool stopped = core::Safepoint::try_stop_world(
+      tc, gReplanBudgetNanos.load(std::memory_order_relaxed), &gReplanCancel);
+  if (stopped) {
+    gStops.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  gWedged.fetch_add(1, std::memory_order_relaxed);
+  core::degrade::note_replan_wedged();
+  return false;
+}
 
 // Serializes re-planners (controller thread, set_class_map, tests).
 // Waiters block in a safe region — the holder may be about to stop the
@@ -119,6 +160,10 @@ struct Candidate {
 // then releases exactly the width it re-materialized with, keeping the
 // Table 8 "Locks" gauge byte-exact across re-plans.
 uint64_t apply_stopped(std::unordered_map<ClassInfo*, Candidate>& cand) {
+  // Fault site: stretch the veto scan while the world is stopped, so
+  // chaos can observe long re-plan pauses (and the watchdog heartbeat).
+  if (const uint64_t d = sbd::fault::fire_delay_nanos(sbd::fault::Site::kReplanVeto))
+    std::this_thread::sleep_for(std::chrono::nanoseconds(d));
   Heap::instance().for_each_object([&](ManagedObject* o) {
     auto it = cand.find(o->h.cls);
     if (it == cand.end() || it->second.vetoed) return;
@@ -139,6 +184,11 @@ uint64_t apply_stopped(std::unordered_map<ClassInfo*, Candidate>& cand) {
     }
     it->second.materialized.push_back(o);
   });
+  // Fault site: delay between the veto scan and the swap. The world is
+  // still stopped, so this cannot invalidate the scan — it only widens
+  // the pause the recovery machinery must tolerate.
+  if (const uint64_t d = sbd::fault::fire_delay_nanos(sbd::fault::Site::kReplanSwap))
+    std::this_thread::sleep_for(std::chrono::nanoseconds(d));
   uint64_t applied = 0;
   for (auto& [ci, c] : cand) {
     if (c.vetoed) {
@@ -242,8 +292,8 @@ bool set_class_map(ClassInfo* ci, LockMap m) {
   if (ci->lock_map() == m) return true;
   std::unordered_map<ClassInfo*, Candidate> cand;
   cand[ci].target = m;
-  core::Safepoint::stop_world(tc);
-  gStops.fetch_add(1, std::memory_order_relaxed);
+  ReplanEpisode episode;
+  if (!stop_world_for_replan(tc)) return false;  // wedged: pin retried later
   const uint64_t applied = apply_stopped(cand);
   core::Safepoint::resume_world(tc);
   gReplans.fetch_add(applied, std::memory_order_relaxed);
@@ -251,6 +301,10 @@ bool set_class_map(ClassInfo* ci, LockMap m) {
 }
 
 uint64_t replan_now() {
+  // Quarantine: repeated wedges mean some mutator reliably never
+  // reaches a safepoint — stop burning stop-the-world attempts and run
+  // with the lock maps we have.
+  if (core::degrade::replan_quarantined()) return 0;
   core::ThreadContext& tc = core::tls_context();
   auto lk = lock_replan_safely(tc);
   gCycles.fetch_add(1, std::memory_order_relaxed);
@@ -271,9 +325,9 @@ uint64_t replan_now() {
     if (want != ci->lock_map()) cand[ci].target = want;
   });
   if (cand.empty()) return 0;
-  // Phase 2: stop the world, migrate, resume.
-  core::Safepoint::stop_world(tc);
-  gStops.fetch_add(1, std::memory_order_relaxed);
+  // Phase 2: stop the world (bounded), migrate, resume.
+  ReplanEpisode episode;
+  if (!stop_world_for_replan(tc)) return 0;  // wedged: retried next cycle
   const uint64_t applied = apply_stopped(cand);
   core::Safepoint::resume_world(tc);
   gReplans.fetch_add(applied, std::memory_order_relaxed);
@@ -286,7 +340,21 @@ Counters counters() {
   c.replans = gReplans.load(std::memory_order_relaxed);
   c.vetoed = gVetoed.load(std::memory_order_relaxed);
   c.stops = gStops.load(std::memory_order_relaxed);
+  c.wedged = gWedged.load(std::memory_order_relaxed);
   return c;
+}
+
+uint64_t replan_busy_since() {
+  return gReplanBusySince.load(std::memory_order_acquire);
+}
+
+void cancel_current_replan() {
+  if (gReplanBusySince.load(std::memory_order_acquire) != 0)
+    gReplanCancel.store(true, std::memory_order_release);
+}
+
+void set_replan_budget_nanos(uint64_t nanos) {
+  gReplanBudgetNanos.store(nanos, std::memory_order_relaxed);
 }
 
 void start_controller() {

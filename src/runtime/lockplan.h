@@ -64,7 +64,29 @@ void note_contention(ManagedObject* obj);
 
 // One decision + apply cycle; returns how many class maps changed.
 // The controller calls this periodically; tests call it directly.
+// Skipped (returns 0) while core::degrade::replan_quarantined().
 uint64_t replan_now();
+
+// --- Re-plan wedge recovery -------------------------------------------------
+// A re-plan stops the world; a mutator that never reaches a safepoint
+// would wedge it forever. Every re-plan stop therefore runs under a
+// budget (SBD_REPLAN_BUDGET_MS, default 2000ms, 0 = unlimited) and a
+// cancel flag the watchdog can raise. An abandoned stop counts as
+// `wedged`, feeds core::degrade::note_replan_wedged(), and leaves the
+// current lock maps untouched.
+
+// Heartbeat: nanosecond timestamp (now_nanos clock) of when the
+// currently-running re-plan cycle began, or 0 when idle. The watchdog
+// polls this to spot a wedged stop-the-world.
+uint64_t replan_busy_since();
+
+// Raises the cancel flag for the in-flight re-plan (no-op when idle).
+// Called by the watchdog once a re-plan exceeds its stall threshold.
+void cancel_current_replan();
+
+// Overrides the SBD_REPLAN_BUDGET_MS stop-the-world budget (tests).
+// 0 = unlimited (then only cancel_current_replan can unwedge).
+void set_replan_budget_nanos(uint64_t nanos);
 
 // Adaptive controller thread lifecycle. start is idempotent; stop
 // joins and may be called from atexit teardown.
@@ -76,6 +98,7 @@ struct Counters {
   uint64_t replans = 0;  // class maps actually changed
   uint64_t vetoed = 0;   // per-class changes skipped due to live lock state
   uint64_t stops = 0;    // cycles that stopped the world
+  uint64_t wedged = 0;   // stop-the-worlds abandoned (timeout or cancel)
 };
 Counters counters();
 

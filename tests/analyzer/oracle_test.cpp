@@ -1,0 +1,331 @@
+// sbd::oracle unit tests over hand-built traces: a clean run passes,
+// and each corrupted fixture — reordered grant, phantom release,
+// recycled-txn-id aliasing, a deadlock victim that never blocked, a
+// commit order contradicting happens-before — is rejected with the
+// offending rule named.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "analyzer/oracle.h"
+
+namespace sbd {
+namespace {
+
+using obs::EventKind;
+
+// Builds traces with monotonically increasing (ts, ord) so fixture
+// order IS trace order.
+struct TraceBuilder {
+  std::vector<oracle::Rec> recs;
+  uint64_t ord = 0;
+
+  oracle::Rec& add(EventKind kind, int txn, uint64_t epoch) {
+    oracle::Rec r;
+    r.kind = kind;
+    r.txn = txn;
+    r.epoch = epoch;
+    r.ord = ++ord;
+    r.ts = ord * 10;
+    recs.push_back(std::move(r));
+    return recs.back();
+  }
+  void acquire(int txn, uint64_t epoch, uint64_t lock, bool write,
+               bool upgrade = false) {
+    oracle::Rec& r = add(EventKind::kAcquire, txn, epoch);
+    r.lockKey = lock;
+    r.lockName = "L" + std::to_string(lock);
+    r.write = write;
+    r.other = upgrade ? 1 : 0;
+  }
+  void release(int txn, uint64_t epoch, uint64_t lock, bool write,
+               bool commit = true) {
+    oracle::Rec& r = add(EventKind::kRelease, txn, epoch);
+    r.lockKey = lock;
+    r.lockName = "L" + std::to_string(lock);
+    r.write = write;
+    r.other = commit ? 1 : 0;
+  }
+  void commit(int txn, uint64_t epoch, uint64_t seq) {
+    add(EventKind::kCommitOrder, txn, epoch).seq = seq;
+  }
+  void blocked(int txn, uint64_t epoch) { add(EventKind::kBlocked, txn, epoch); }
+  void deadlock(int detector, uint64_t detectorEpoch, int victim,
+                uint64_t victimEpoch) {
+    oracle::Rec& r = add(EventKind::kDeadlock, detector, detectorEpoch);
+    r.other = victim;
+    r.seq = victimEpoch;
+  }
+};
+
+bool has_rule(const oracle::Report& rep, const std::string& rule) {
+  for (const auto& v : rep.violations)
+    if (v.rule == rule) return true;
+  return false;
+}
+
+std::string rules(const oracle::Report& rep) {
+  std::string out;
+  for (const auto& v : rep.violations) out += v.rule + ": " + v.detail + "\n";
+  return out;
+}
+
+TEST(Oracle, GoodTraceClean) {
+  TraceBuilder b;
+  // txn0@1 and txn1@2 serialize on L7; commit seqs follow the lock order.
+  b.acquire(0, 1, 7, /*write=*/true);
+  b.commit(0, 1, 1);
+  b.release(0, 1, 7, /*write=*/true);
+  b.acquire(1, 2, 7, /*write=*/true);
+  b.commit(1, 2, 2);
+  b.release(1, 2, 7, /*write=*/true);
+  const oracle::Report rep = oracle::check(b.recs);
+  EXPECT_TRUE(rep.ok()) << rules(rep);
+  EXPECT_EQ(rep.txns, 2u);
+  EXPECT_EQ(rep.acquires, 2u);
+  EXPECT_EQ(rep.releases, 2u);
+  EXPECT_EQ(rep.commits, 2u);
+}
+
+TEST(Oracle, ConcurrentReadersClean) {
+  TraceBuilder b;
+  b.acquire(0, 1, 7, /*write=*/false);
+  b.acquire(1, 2, 7, /*write=*/false);  // read-read: no conflict
+  b.commit(0, 1, 1);
+  b.release(0, 1, 7, false);
+  b.commit(1, 2, 2);
+  b.release(1, 2, 7, false);
+  const oracle::Report rep = oracle::check(b.recs);
+  EXPECT_TRUE(rep.ok()) << rules(rep);
+}
+
+TEST(Oracle, UpgradeFromSoleReaderClean) {
+  TraceBuilder b;
+  b.acquire(0, 1, 7, /*write=*/false);
+  b.acquire(0, 1, 7, /*write=*/true, /*upgrade=*/true);
+  b.commit(0, 1, 1);
+  b.release(0, 1, 7, /*write=*/true);
+  const oracle::Report rep = oracle::check(b.recs);
+  EXPECT_TRUE(rep.ok()) << rules(rep);
+}
+
+TEST(Oracle, ReorderedGrantDetected) {
+  TraceBuilder b;
+  // txn1's write grant lands BEFORE txn0's release — the word was held.
+  b.acquire(0, 1, 7, /*write=*/true);
+  b.acquire(1, 2, 7, /*write=*/true);
+  b.release(0, 1, 7, true);
+  b.commit(0, 1, 1);
+  b.release(1, 2, 7, true);
+  b.commit(1, 2, 2);
+  const oracle::Report rep = oracle::check(b.recs);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(has_rule(rep, "conflicting-grant")) << rules(rep);
+}
+
+TEST(Oracle, ReadUnderWriterDetected) {
+  TraceBuilder b;
+  b.acquire(0, 1, 7, /*write=*/true);
+  b.acquire(1, 2, 7, /*write=*/false);
+  b.release(0, 1, 7, true);
+  b.release(1, 2, 7, false);
+  const oracle::Report rep = oracle::check(b.recs);
+  EXPECT_TRUE(has_rule(rep, "conflicting-grant")) << rules(rep);
+}
+
+TEST(Oracle, PhantomReleaseDetected) {
+  TraceBuilder b;
+  b.acquire(0, 1, 7, true);
+  b.release(0, 1, 8, true);  // lock 8 was never granted
+  b.release(0, 1, 7, true);
+  const oracle::Report rep = oracle::check(b.recs);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(has_rule(rep, "phantom-release")) << rules(rep);
+}
+
+TEST(Oracle, ReleaseModeMismatchDetected) {
+  TraceBuilder b;
+  b.acquire(0, 1, 7, /*write=*/false);
+  b.release(0, 1, 7, /*write=*/true);  // granted read, released write
+  const oracle::Report rep = oracle::check(b.recs);
+  EXPECT_TRUE(has_rule(rep, "release-mode-mismatch")) << rules(rep);
+}
+
+TEST(Oracle, DoubleGrantDetected) {
+  TraceBuilder b;
+  b.acquire(0, 1, 7, false);
+  b.acquire(0, 1, 7, false);  // same txn granted the same word twice
+  b.release(0, 1, 7, false);
+  const oracle::Report rep = oracle::check(b.recs);
+  EXPECT_TRUE(has_rule(rep, "double-grant")) << rules(rep);
+}
+
+TEST(Oracle, UpgradeWithoutReadDetected) {
+  TraceBuilder b;
+  b.acquire(0, 1, 7, true, /*upgrade=*/true);
+  b.release(0, 1, 7, true);
+  const oracle::Report rep = oracle::check(b.recs);
+  EXPECT_TRUE(has_rule(rep, "upgrade-without-read-hold")) << rules(rep);
+}
+
+TEST(Oracle, RecycledTxnIdAliasDetected) {
+  // Same id, two epochs. The CLEAN run releases before the id is
+  // recycled; the BAD run leaks the grant into the next incarnation.
+  TraceBuilder good;
+  good.acquire(0, 7, 3, true);
+  good.release(0, 7, 3, true);
+  good.acquire(0, 9, 3, true);  // next incarnation of id 0
+  good.release(0, 9, 3, true);
+  EXPECT_TRUE(oracle::check(good.recs).ok()) << rules(oracle::check(good.recs));
+
+  TraceBuilder bad;
+  bad.acquire(0, 7, 3, true);
+  bad.acquire(0, 9, 5, true);   // epoch 9 begins; epoch 7 still holds L3
+  bad.release(0, 9, 3, true);   // ...and its grant aliases onto epoch 9
+  bad.release(0, 9, 5, true);
+  const oracle::Report rep = oracle::check(bad.recs);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(has_rule(rep, "locks-held-at-txn-end")) << rules(rep);
+}
+
+TEST(Oracle, EpochRegressionDetected) {
+  TraceBuilder b;
+  b.acquire(0, 9, 3, true);
+  b.release(0, 9, 3, true);
+  b.blocked(0, 7);  // an event from the PAST incarnation of id 0
+  const oracle::Report rep = oracle::check(b.recs);
+  EXPECT_TRUE(has_rule(rep, "txn-epoch-alias")) << rules(rep);
+}
+
+TEST(Oracle, DeadlockVictimChecked) {
+  // Clean: the named victim (id 1, epoch 2) really blocked.
+  TraceBuilder good;
+  good.blocked(1, 2);
+  good.deadlock(/*detector=*/0, /*detectorEpoch=*/1, /*victim=*/1, /*victimEpoch=*/2);
+  EXPECT_TRUE(oracle::check(good.recs).ok()) << rules(oracle::check(good.recs));
+
+  // Bad: victim id 2 never appears in any kBlocked.
+  TraceBuilder bad;
+  bad.blocked(1, 2);
+  bad.deadlock(0, 1, /*victim=*/2, /*victimEpoch=*/4);
+  const oracle::Report rep = oracle::check(bad.recs);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(has_rule(rep, "deadlock-victim-not-in-cycle")) << rules(rep);
+}
+
+TEST(Oracle, CommitOrderInversionDetected) {
+  TraceBuilder b;
+  // txn0 commits (seq 2) and releases L7; txn1 acquires L7 AFTER that
+  // release — so txn0's commit happens-before txn1's — yet txn1 draws
+  // the SMALLER commit seq. The total order contradicts happens-before.
+  b.acquire(0, 1, 7, true);
+  b.commit(0, 1, 2);
+  b.release(0, 1, 7, true);
+  b.acquire(1, 2, 7, true);
+  b.commit(1, 2, 1);
+  b.release(1, 2, 7, true);
+  const oracle::Report rep = oracle::check(b.recs);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(has_rule(rep, "commit-order-inversion")) << rules(rep);
+}
+
+TEST(Oracle, DuplicateCommitSeqDetected) {
+  TraceBuilder b;
+  b.acquire(0, 1, 7, true);
+  b.commit(0, 1, 5);
+  b.release(0, 1, 7, true);
+  b.acquire(1, 2, 8, true);
+  b.commit(1, 2, 5);  // same global sequence number twice
+  b.release(1, 2, 8, true);
+  const oracle::Report rep = oracle::check(b.recs);
+  EXPECT_TRUE(has_rule(rep, "duplicate-commit-seq")) << rules(rep);
+}
+
+TEST(Oracle, GrantAfterCommitDetected) {
+  TraceBuilder b;
+  b.acquire(0, 1, 7, true);
+  b.commit(0, 1, 1);
+  b.acquire(0, 1, 8, true);  // growing the lock set after commit
+  b.release(0, 1, 7, true);
+  b.release(0, 1, 8, true);
+  const oracle::Report rep = oracle::check(b.recs);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(has_rule(rep, "grant-after-commit")) << rules(rep);
+}
+
+TEST(Oracle, AbortAfterCommitDetected) {
+  TraceBuilder b;
+  b.acquire(0, 1, 7, true);
+  b.commit(0, 1, 1);
+  b.release(0, 1, 7, true);
+  b.add(EventKind::kAborted, 0, 1);
+  const oracle::Report rep = oracle::check(b.recs);
+  EXPECT_TRUE(has_rule(rep, "abort-after-commit")) << rules(rep);
+}
+
+TEST(Oracle, IncompleteTraceSkipsEndChecks) {
+  TraceBuilder b;
+  b.acquire(0, 1, 7, true);  // never released
+  const oracle::Report complete = oracle::check(b.recs, /*droppedEvents=*/0);
+  EXPECT_TRUE(has_rule(complete, "unreleased-lock")) << rules(complete);
+  // With drops the release may simply be missing from the trace: the
+  // balance checks must not cry wolf.
+  const oracle::Report lossy = oracle::check(b.recs, /*droppedEvents=*/3);
+  EXPECT_FALSE(has_rule(lossy, "unreleased-lock")) << rules(lossy);
+  EXPECT_FALSE(lossy.complete);
+}
+
+TEST(Oracle, UnsortedInputIsReorderedBeforeChecking) {
+  TraceBuilder b;
+  b.acquire(0, 1, 7, true);
+  b.release(0, 1, 7, true);
+  b.acquire(1, 2, 7, true);
+  b.release(1, 2, 7, true);
+  std::swap(b.recs[0], b.recs[3]);  // shuffle; (ts, ord) still encode order
+  const oracle::Report rep = oracle::check(b.recs);
+  EXPECT_TRUE(rep.ok()) << rules(rep);
+}
+
+TEST(Oracle, FormatWindowsNamesOffendingEvents) {
+  TraceBuilder b;
+  b.acquire(0, 1, 7, true);
+  b.acquire(1, 2, 7, true);
+  b.release(0, 1, 7, true);
+  b.release(1, 2, 7, true);
+  const oracle::Report rep = oracle::check(b.recs);
+  ASSERT_FALSE(rep.ok());
+  const std::string win = oracle::format_windows(b.recs, rep);
+  EXPECT_NE(win.find("conflicting-grant"), std::string::npos) << win;
+  EXPECT_NE(win.find(">>"), std::string::npos) << win;
+  EXPECT_NE(win.find("L7"), std::string::npos) << win;
+}
+
+TEST(Oracle, TraceFileRoundTrip) {
+  // A file in the exact obs::write_trace format parses back and checks.
+  const std::string path = ::testing::TempDir() + "oracle_fixture.trace";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# sbd-trace v1\n# dropped=0 recorded=4\n", f);
+  std::fputs("acquire txn=0 epoch=1 other=0 seq=0 w=1 ord=1 ts=10 dur=0 addr=0x10 name=A.x\n", f);
+  std::fputs("commit-order txn=0 epoch=1 other=-1 seq=1 w=0 ord=2 ts=20 dur=0 addr=0x0 name=-\n", f);
+  std::fputs("release txn=0 epoch=1 other=1 seq=0 w=1 ord=3 ts=30 dur=0 addr=0x10 name=A.x\n", f);
+  std::fputs("thread-exit txn=-1 epoch=0 other=-1 seq=0 w=0 ord=4 ts=40 dur=0 addr=0x0 name=-\n", f);
+  ASSERT_EQ(std::fclose(f), 0);
+  std::vector<oracle::Rec> recs;
+  uint64_t dropped = 99;
+  ASSERT_TRUE(oracle::read_trace(path, recs, dropped));
+  std::remove(path.c_str());
+  EXPECT_EQ(dropped, 0u);
+  ASSERT_EQ(recs.size(), 4u);
+  EXPECT_EQ(recs[0].kind, EventKind::kAcquire);
+  EXPECT_EQ(recs[0].lockKey, 0x10u);
+  EXPECT_EQ(recs[0].lockName, "A.x");
+  EXPECT_TRUE(recs[0].write);
+  const oracle::Report rep = oracle::check(recs, dropped);
+  EXPECT_TRUE(rep.ok()) << rules(rep);
+  EXPECT_EQ(rep.threadExits, 1u);
+}
+
+}  // namespace
+}  // namespace sbd

@@ -76,6 +76,66 @@ TEST(ObsRing, DrainMergesThreadsByTimestampAndSurvivesThreadExit) {
         << "drain must merge by timestamp at index " << i;
 }
 
+TEST(ObsRing, LosslessModeBlocksUntilDrained) {
+  obs::set_enabled(true);
+  obs::drain();
+  const uint64_t d0 = obs::dropped();
+  obs::set_lossless(true);
+  // Several rings' worth of events from one producer: without lossless
+  // mode most would be dropped (see OverflowDropsAndCounts above). With
+  // it the producer blocks until the drainer makes room — zero drops.
+  const uint64_t n = 3 * 4096 + 17;
+  std::atomic<uint64_t> produced{0};
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < n; i++) {
+      obs::record(obs::EventKind::kAborted, 7, -1, nullptr, nullptr,
+                  obs::kNoIndex, false);
+      produced.fetch_add(1, std::memory_order_release);
+    }
+  });
+  uint64_t mine = 0;
+  auto drainCount = [&] {
+    for (const auto& e : obs::drain())
+      mine += e.kind == obs::EventKind::kAborted && e.txnId == 7;
+  };
+  while (produced.load(std::memory_order_acquire) < n) {
+    drainCount();
+    std::this_thread::yield();
+  }
+  producer.join();
+  drainCount();
+  obs::set_lossless(false);
+  obs::set_enabled(false);
+  EXPECT_EQ(obs::dropped() - d0, 0u) << "lossless mode must not drop";
+  EXPECT_EQ(mine, n) << "every recorded event must surface in the drain";
+}
+
+TEST(ObsRing, ThreadExitRetiresRingWithMarker) {
+  obs::set_enabled(true);
+  obs::drain();
+  std::thread t([] {
+    obs::record(obs::EventKind::kAborted, 31, -1, nullptr, nullptr,
+                obs::kNoIndex, false);
+  });
+  t.join();
+  const auto events = obs::drain();
+  obs::set_enabled(false);
+  // The retired ring must carry the thread's payload AND end with the
+  // kThreadExit marker, so the oracle can tell "stream ended" from
+  // "events missing".
+  size_t payloadAt = events.size(), exitAt = events.size();
+  for (size_t i = 0; i < events.size(); i++) {
+    if (events[i].txnId == 31 && events[i].kind == obs::EventKind::kAborted)
+      payloadAt = i;
+    if (events[i].kind == obs::EventKind::kThreadExit) exitAt = i;
+  }
+  ASSERT_LT(payloadAt, events.size());
+  ASSERT_LT(exitAt, events.size()) << "ring retirement must record kThreadExit";
+  EXPECT_LT(payloadAt, exitAt) << "the exit marker ends the thread's stream";
+  EXPECT_LT(events[payloadAt].ordinal, events[exitAt].ordinal)
+      << "ordinals must order a thread's own events";
+}
+
 TEST(ObsSymbols, AttributionStableUnderLockPoolRecycling) {
   static runtime::ClassInfo* clsA =
       runtime::register_class("ObsRecycleA", {SBD_SLOT("x")}, {});

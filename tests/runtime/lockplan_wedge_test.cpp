@@ -1,0 +1,105 @@
+// Re-plan wedge recovery: a mutator that never reaches a safepoint must
+// not hang a stop-the-world re-plan forever. Covered here: the bounded
+// stop budget gives up and counts a wedge, repeated wedges quarantine
+// the controller (core/degrade), and with an unlimited budget the
+// watchdog's lockplan heartbeat cancels the stuck episode.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "api/sbd.h"
+#include "core/degrade.h"
+#include "core/watchdog.h"
+#include "runtime/class_info.h"
+#include "runtime/lockplan.h"
+
+namespace sbd {
+namespace {
+
+// A registered class to re-plan. Each test uses its own so a vetoed or
+// cancelled earlier change cannot leak into the next assertion.
+runtime::ClassInfo* fresh_class(const char* name) {
+  return runtime::register_class(name, {SBD_SLOT("a"), SBD_SLOT("b")}, {});
+}
+
+// An SBD-attached thread that spins on a plain atomic: it performs no
+// SBD access, so it never polls a safepoint — the deterministic wedge.
+// The constructor waits until the thread is attached AND inside the
+// spin loop; a stop-the-world begun before registration would not see
+// the thread and succeed vacuously.
+struct WedgedMutator {
+  std::atomic<bool> spin{true};
+  std::atomic<bool> started{false};
+  SbdThread thread;
+  WedgedMutator()
+      : thread([this] {
+          started.store(true, std::memory_order_release);
+          while (spin.load(std::memory_order_acquire)) {
+          }
+        }) {
+    thread.start();
+    while (!started.load(std::memory_order_acquire)) {
+    }
+  }
+  ~WedgedMutator() {
+    spin.store(false, std::memory_order_release);
+    thread.join();
+  }
+};
+
+TEST(LockplanWedge, BoundedBudgetGivesUpAndCountsWedge) {
+  runtime::lockplan::set_replan_budget_nanos(100'000'000);  // 100ms
+  const auto before = runtime::lockplan::counters();
+  const uint64_t wedgesBefore = core::degrade::replans_wedged();
+  {
+    WedgedMutator wedge;
+    runtime::ClassInfo* ci = fresh_class("WedgeBudgetCls");
+    const bool applied = runtime::lockplan::set_class_map(
+        ci, runtime::lockplan::make_map(runtime::LockGranularity::kObject, 0));
+    EXPECT_FALSE(applied) << "stop-the-world cannot succeed with a wedged mutator";
+  }
+  const auto after = runtime::lockplan::counters();
+  EXPECT_GT(after.wedged, before.wedged);
+  EXPECT_GT(core::degrade::replans_wedged(), wedgesBefore);
+  runtime::lockplan::set_replan_budget_nanos(2'000'000'000);  // restore default
+}
+
+TEST(LockplanWedge, RepeatedWedgesQuarantineTheController) {
+  // The previous test recorded at least one wedge; a budget of 1 puts
+  // the controller into quarantine immediately.
+  core::degrade::note_replan_wedged();
+  core::degrade::set_replan_wedge_budget(1);
+  EXPECT_TRUE(core::degrade::replan_quarantined());
+  EXPECT_EQ(runtime::lockplan::replan_now(), 0u)
+      << "a quarantined controller must skip re-plan cycles";
+  // Raising the budget lifts the quarantine (the counter stands).
+  core::degrade::set_replan_wedge_budget(1u << 20);
+  EXPECT_FALSE(core::degrade::replan_quarantined());
+}
+
+TEST(LockplanWedge, WatchdogHeartbeatCancelsUnboundedReplan) {
+  runtime::lockplan::set_replan_budget_nanos(0);  // unlimited: only a cancel helps
+  core::Watchdog::Options wo;
+  wo.stallThresholdNanos = 60'000'000'000ull;  // keep txn-stall reports quiet
+  wo.abortVictimAfterNanos = 0;
+  wo.pollIntervalNanos = 10'000'000;          // 10ms scan
+  wo.replanStallThresholdNanos = 50'000'000;  // 50ms heartbeat budget
+  core::Watchdog::start(wo);
+  const uint64_t stallsBefore = core::Watchdog::stalls_detected();
+  {
+    WedgedMutator wedge;
+    runtime::ClassInfo* ci = fresh_class("WedgeWatchdogCls");
+    // Blocks until the watchdog notices the stuck heartbeat and raises
+    // the cancel flag; without the heartbeat this would hang forever.
+    const bool applied = runtime::lockplan::set_class_map(
+        ci, runtime::lockplan::make_map(runtime::LockGranularity::kObject, 0));
+    EXPECT_FALSE(applied);
+  }
+  EXPECT_GT(core::Watchdog::stalls_detected(), stallsBefore)
+      << "the cancelled episode must be reported as a stall";
+  core::Watchdog::stop();
+  runtime::lockplan::set_replan_budget_nanos(2'000'000'000);  // restore default
+}
+
+}  // namespace
+}  // namespace sbd

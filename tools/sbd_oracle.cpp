@@ -1,0 +1,66 @@
+// sbd_oracle — offline happens-before serializability checker CLI.
+//
+// Reads one or more "# sbd-trace v1" files (written by sbd_chaos
+// --trace-out, or any program calling obs::write_trace after a drain)
+// and replays them through sbd::oracle::check. Prints the one-line
+// summary per file; on violations, prints the offending event windows
+// and exits 1. I/O or parse failure exits 2.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analyzer/oracle.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--context N] [--quiet] <trace-file> [more...]\n"
+               "  checks sbd-trace files for happens-before/serializability "
+               "violations\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t context = 6;
+  bool quiet = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; i++) {
+    const std::string a = argv[i];
+    if (a == "--context") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      context = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.empty()) return usage(argv[0]);
+
+  bool anyViolation = false;
+  for (const std::string& path : files) {
+    std::vector<sbd::oracle::Rec> trace;
+    uint64_t dropped = 0;
+    if (!sbd::oracle::read_trace(path, trace, dropped)) {
+      std::fprintf(stderr, "sbd_oracle: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    const sbd::oracle::Report rep = sbd::oracle::check(trace, dropped);
+    std::printf("%s: %s\n", path.c_str(), sbd::oracle::summary_line(rep).c_str());
+    if (!rep.ok()) {
+      anyViolation = true;
+      if (!quiet)
+        std::fputs(sbd::oracle::format_windows(trace, rep, context).c_str(),
+                   stdout);
+    }
+  }
+  return anyViolation ? 1 : 0;
+}
