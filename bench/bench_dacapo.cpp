@@ -74,7 +74,9 @@ int main(int argc, char** argv) {
           "    \"%s\": {\"wall_s\": %.4f, \"vtm_makespan_s\": %.4f, "
           "\"checksum\": %llu, \"acq_rls\": %llu, \"check_owned\": %llu, "
           "\"check_new\": %llu, \"lock_init\": %llu, \"commits\": %llu, "
-          "\"aborts\": %llu, \"lock_struct_bytes\": %llu}%s\n",
+          "\"aborts\": %llu, \"versioned_reads\": %llu, "
+          "\"validations\": %llu, \"version_aborts\": %llu, "
+          "\"lock_struct_bytes\": %llu, \"version_word_bytes\": %llu}%s\n",
           row.name.c_str(), row.r.seconds, row.makespan,
           static_cast<unsigned long long>(row.r.checksum),
           static_cast<unsigned long long>(row.r.stm.acqRls),
@@ -83,7 +85,11 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(row.r.stm.lockInit),
           static_cast<unsigned long long>(row.r.stm.commits),
           static_cast<unsigned long long>(row.r.stm.aborts),
+          static_cast<unsigned long long>(row.r.stm.versionedReads),
+          static_cast<unsigned long long>(row.r.stm.validations),
+          static_cast<unsigned long long>(row.r.stm.versionAborts),
           static_cast<unsigned long long>(row.r.lockStructBytes),
+          static_cast<unsigned long long>(row.r.versionWordBytes),
           i + 1 == rows.size() ? "" : ",");
     }
     std::fprintf(f, "  }\n}\n");

@@ -1,10 +1,12 @@
 // Table 8 — memory overhead (single-threaded execution): the live
 // baseline heap vs the SBD-specific allocations, split as in the paper:
 //
-//   Locks    — field/element lock structures (lazily allocated)
-//   R-W set  — lock records + undo entries (old values), avg per txn
-//   Buffers  — transactional I/O buffers (deferred writes, replay)
-//   Init     — the new-instance log
+//   Locks     — field/element lock structures (lazily allocated)
+//   VWords    — versioned stamp arrays (invisible-reader granularity);
+//               zero unless classes run on LockMap::kVersioned
+//   R-W set   — lock records + undo entries (old values), avg per txn
+//   Buffers   — transactional I/O buffers (deferred writes, replay)
+//   Init      — the new-instance log
 //
 // Reproduced shape: lazy allocation keeps Locks low except for the
 // workloads that touch many instances (LuSearch, Sunflow); LuIndex's
@@ -30,30 +32,33 @@ int main(int argc, char** argv) {
   const int intervalMs = static_cast<int>(opts.get_int("interval", 50));
 
   std::printf("=== Table 8: memory overhead (avg, single-threaded) ===\n\n");
-  TextTable t({"Benchmark", "Heap(live)", "Locks", "R-W set/txn", "Buffers/txn",
-               "Init/txn"});
+  TextTable t({"Benchmark", "Heap(live)", "Locks", "VWords", "R-W set/txn",
+               "Buffers/txn", "Init/txn"});
   for (auto& b : dacapo::all_benchmarks()) {
     runtime::Heap::instance().collect();
     const auto heapBefore = runtime::Heap::instance().stats().liveBytes;
     runtime::MemorySampler sampler(intervalMs);
     if (useSampler) sampler.start();
     const auto r = b.sbd(scale, 1);
-    uint64_t heapDelta, lockBytes;
+    uint64_t heapDelta, lockBytes, stampBytes;
     if (useSampler) {
       const auto avg = sampler.stop();
       heapDelta = avg.liveHeapBytes > static_cast<double>(heapBefore)
                       ? static_cast<uint64_t>(avg.liveHeapBytes) - heapBefore
                       : 0;
       lockBytes = static_cast<uint64_t>(avg.lockStructBytes);
+      stampBytes = static_cast<uint64_t>(avg.versionWordBytes);
     } else {
       runtime::Heap::instance().collect();
       const auto heapAfter = runtime::Heap::instance().stats().liveBytes;
       heapDelta = heapAfter > heapBefore ? heapAfter - heapBefore : heapAfter;
       lockBytes = r.lockStructBytes;
+      stampBytes = r.versionWordBytes;
     }
     const uint64_t txns = r.stm.txnFootprints ? r.stm.txnFootprints : 1;
     t.add_row({b.name, TextTable::fmt_bytes_k(heapDelta),
                TextTable::fmt_bytes_k(lockBytes),
+               TextTable::fmt_bytes_k(stampBytes),
                std::to_string(r.stm.rwSetBytesSum / txns) + "B",
                std::to_string(r.stm.bufferBytesSum / txns) + "B",
                std::to_string(r.stm.initLogBytesSum / txns) + "B"});

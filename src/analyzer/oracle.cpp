@@ -304,6 +304,19 @@ struct Checker {
     commits.push_back({r.txn, t.epoch, r.seq, t.vc.c[r.txn], t.vc, index});
   }
 
+  // Versioned read-set validation: the section proved its entire read
+  // snapshot (taken at version-clock value r.seq) still holds, which
+  // orders it after every commit with seq <= the snapshot — those
+  // kCommitOrder ticks were drawn before the snapshot was read, and the
+  // validated words carry their stamps. Invisible readers produce no
+  // kAcquire/kRelease edges, so this is their only happens-before input.
+  void on_validate(const Rec& r) {
+    if (r.seq == 0) return;  // snapshot predates every commit
+    TxnInfo& t = cur[r.txn];
+    for (const CommitRec& c : commits)
+      if (c.seq <= r.seq) t.vc.join(c.vc);
+  }
+
   void on_deadlock(const Rec& r, size_t index) {
     const int victim = r.other;
     if (victim < 0 || victim >= kMaxIds) {
@@ -363,8 +376,11 @@ struct Checker {
         case obs::EventKind::kDeadlock:
           on_deadlock(r, pos);
           break;
+        case obs::EventKind::kValidate:
+          on_validate(r);
+          break;
         default:
-          break;  // kGranted etc.: diagnostic-only kinds
+          break;  // kGranted, kVersionAbort etc.: diagnostic-only kinds
       }
     }
     finish();
@@ -480,7 +496,7 @@ bool read_trace(const std::string& path, std::vector<Rec>& out,
     Rec r;
     r.kind = obs::EventKind::kAborted;
     bool known = false;
-    for (int k = 0; k <= static_cast<int>(obs::EventKind::kThreadExit); k++) {
+    for (int k = 0; k <= static_cast<int>(obs::EventKind::kVersionAbort); k++) {
       const auto kk = static_cast<obs::EventKind>(k);
       if (std::strcmp(obs::event_kind_name(kk), kindName) == 0) {
         r.kind = kk;
@@ -528,6 +544,9 @@ std::string format_event(const Rec& r) {
       break;
     case obs::EventKind::kDeadlock:
       os << " victim=" << r.other << "@" << r.seq;
+      break;
+    case obs::EventKind::kValidate:
+      os << " snapshot=" << r.seq << " entries=" << r.other;
       break;
     default:
       break;

@@ -114,6 +114,11 @@ using runtime::LockGranularity;
 // switch was vetoed by live lock state (locks held right now); the pin
 // sticks, and under SBD_LOCK_GRANULARITY=adaptive the controller keeps
 // retrying it. Process-wide defaults come from SBD_LOCK_GRANULARITY.
+// LockGranularity::kVersioned runs the class on the invisible-reader
+// protocol: reads load the value plus a per-word version stamp and
+// re-validate at split/commit instead of taking locks; writes still
+// lock exclusively. Best for read-mostly hot classes (stale reads cost
+// an abort-and-retry); `stripes` is ignored for it.
 inline bool set_lock_granularity(runtime::ClassInfo* cls, LockGranularity g,
                                  uint32_t stripes = 4) {
   return runtime::lockplan::set_class_map(cls, runtime::lockplan::make_map(g, stripes));

@@ -21,9 +21,16 @@ class InevitabilityToken final : public TxResource {
  public:
   void on_commit() override { release(); }
   void on_abort() override {
-    // An inevitable section must never abort: its effects may already
-    // be externally visible.
-    SBD_CHECK_MSG(false, "abort of an inevitable section");
+    // Past the point of no return (set_inevitable) an abort is fatal:
+    // the section's effects may already be externally visible. Before
+    // it — the versioned read-set promotion between taking the token
+    // and setting the flag can still abort on a stale snapshot — the
+    // abort is ordinary and must hand the token back (the checkpoint
+    // restore does not unwind the stack, so this resource hook is the
+    // only cleanup that runs).
+    SBD_CHECK_MSG(!tls_context().txn.inevitable(),
+                  "abort of an inevitable section");
+    release();
   }
 
   static InevitabilityToken& instance() {
@@ -57,8 +64,14 @@ void become_inevitable() {
     gHolder = &tc;
   }
   gAcquisitions.fetch_add(1, std::memory_order_relaxed);
-  tc.txn.set_inevitable(true);
+  // Register the release hook BEFORE anything below can abort, then pin
+  // down the invisible reads: an inevitable section can never abort,
+  // and versioned reads settle conflicts by aborting the reader — so
+  // every versioned read-set entry is locked exclusively and the
+  // snapshot validated NOW, while this transaction is still revocable.
   tc.txn.add_resource(&InevitabilityToken::instance());
+  LockEngine::versioned_promote_for_inevitable(tc);
+  tc.txn.set_inevitable(true);
 }
 
 bool is_inevitable() {

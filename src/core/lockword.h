@@ -58,4 +58,29 @@ constexpr bool write_grabbable(LockWord w, LockWord mask) {
   return sole_member(w, mask) && !has_writer(w);
 }
 
+// --- Versioned words (LockMap::kVersioned, TL2-style invisible readers) ---
+//
+// Under a versioned map the word is NOT the Fig. 4(b) bit-set; it is
+// either a version stamp or a write-lock marker, discriminated by the
+// LSB:
+//
+//   stamp:       (version << 1)       LSB 0 — last committed version of
+//                                     the data this word covers. A fresh
+//                                     zeroed word is stamp 0 = "version
+//                                     0", valid against every snapshot.
+//   write-locked (txnId << 1) | 1     LSB 1 — exactly one exclusive
+//                                     writer; no members, upgraders, or
+//                                     wait queues ever appear.
+//
+// Readers never store to the word: read = load stamp, load data, fence,
+// re-load stamp (Boehm seqlock pattern), append to the txn read set.
+// Versions are drawn from the global commit clock (version_clock()).
+constexpr bool version_locked(LockWord w) { return (w & 1) != 0; }
+constexpr uint64_t version_of(LockWord w) { return w >> 1; }
+constexpr LockWord version_stamp(uint64_t version) { return version << 1; }
+constexpr LockWord version_locked_word(int txnId) {
+  return (static_cast<LockWord>(txnId) << 1) | 1;
+}
+constexpr int version_owner(LockWord w) { return static_cast<int>(w >> 1); }
+
 }  // namespace sbd::core

@@ -69,9 +69,6 @@ struct Ring {
 // draw the smaller ordinal.
 std::atomic<uint64_t> gOrdinal{0};
 
-// Global commit sequence (see next_commit_seq in the header).
-std::atomic<uint64_t> gCommitSeq{0};
-
 // Lossless mode gives up after this long without drain progress so a
 // missing drainer degrades to drop-and-count instead of a hang.
 constexpr uint64_t kLosslessMaxWaitNanos = 5'000'000'000ull;
@@ -228,7 +225,9 @@ void set_full_trace(bool on) {
 void set_lossless(bool on) { detail::gLossless.store(on, std::memory_order_release); }
 
 uint64_t next_commit_seq() {
-  return gCommitSeq.fetch_add(1, std::memory_order_relaxed) + 1;
+  // One clock for commit seqs AND versioned stamps (core/transaction.h):
+  // a stamp on a versioned word is the commit seq of its writer.
+  return core::advance_version_clock();
 }
 
 const char* event_kind_name(EventKind k) {
@@ -248,6 +247,8 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kRelease: return "release";
     case EventKind::kCommitOrder: return "commit-order";
     case EventKind::kThreadExit: return "thread-exit";
+    case EventKind::kValidate: return "validate";
+    case EventKind::kVersionAbort: return "version-abort";
   }
   return "?";
 }
@@ -268,7 +269,10 @@ void record(EventKind kind, int txnId, int other, const void* lockAddr,
             const runtime::ClassInfo* cls, uint32_t lockIndex, bool wantWrite,
             uint64_t durationNanos, uint64_t epoch, uint64_t seq) {
   if (!enabled()) return;
-  if (kind == EventKind::kBlocked) bump_hot(cls, lockIndex, wantWrite);
+  // kVersionAbort feeds the hot table too: an invisible-reader class
+  // that keeps aborting is contended even though nothing ever blocks.
+  if (kind == EventKind::kBlocked || kind == EventKind::kVersionAbort)
+    bump_hot(cls, lockIndex, wantWrite);
   Ring& r = my_ring();
   uint64_t h = r.head.load(std::memory_order_relaxed);
   if (h - r.tail.load(std::memory_order_acquire) >= kRingEntries) {
@@ -389,6 +393,7 @@ std::string summarize(const std::vector<Event>& events) {
   uint64_t deadlocks = 0, aborts = 0, stalls = 0, idStalls = 0, escalations = 0;
   uint64_t commits = 0, splits = 0, gcPauses = 0, spStops = 0;
   uint64_t acquires = 0, releases = 0, commitOrders = 0, threadExits = 0;
+  uint64_t validates = 0, versionAborts = 0;
   for (const Event& e : events) {
     switch (e.kind) {
       case EventKind::kBlocked: {
@@ -442,6 +447,16 @@ std::string summarize(const std::vector<Event>& events) {
       case EventKind::kThreadExit:
         threadExits++;
         break;
+      case EventKind::kValidate:
+        validates++;
+        break;
+      case EventKind::kVersionAbort: {
+        versionAborts++;
+        LockStats& s = byLock[lock_name(e)];
+        s.blocks++;
+        if (e.wantWrite) s.writes++;
+        break;
+      }
     }
   }
   std::ostringstream os;
@@ -457,6 +472,9 @@ std::string summarize(const std::vector<Event>& events) {
   if (acquires || releases || commitOrders)
     os << ", full trace: " << acquires << " acquires / " << releases
        << " releases / " << commitOrders << " ordered commits";
+  if (validates || versionAborts)
+    os << ", versioned: " << validates << " validations / " << versionAborts
+       << " version aborts";
   if (threadExits) os << ", " << threadExits << " thread exits";
   os << "\n";
   for (const auto& [name, s] : byLock) {
@@ -566,12 +584,16 @@ std::string metrics_json() {
      << ", \"casFailures\": " << c.casFailures
      << ", \"deadlocksResolved\": " << c.deadlocksResolved
      << ", \"escalations\": " << c.escalations
+     << ", \"versionedReads\": " << c.versionedReads
+     << ", \"validations\": " << c.validations
+     << ", \"versionAborts\": " << c.versionAborts
      << ", \"rwSetBytesSum\": " << c.rwSetBytesSum
      << ", \"bufferBytesSum\": " << c.bufferBytesSum
      << ", \"initLogBytesSum\": " << c.initLogBytesSum
      << ", \"txnFootprints\": " << c.txnFootprints;
   os << "},\n  \"gauges\": {";
   os << "\"lockStructBytes\": " << g.lockStructBytes.load(std::memory_order_relaxed)
+     << ", \"versionWordBytes\": " << g.versionWordBytes.load(std::memory_order_relaxed)
      << ", \"heapBytes\": " << g.heapBytes.load(std::memory_order_relaxed)
      << ", \"gcRuns\": " << g.gcRuns.load(std::memory_order_relaxed);
   os << "},\n  \"lockpool\": {";

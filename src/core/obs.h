@@ -58,9 +58,19 @@ enum class EventKind : uint8_t {
   kRelease,        // full-trace: a lock was released (`other` 1 = commit, 0 = abort)
   kCommitOrder,    // full-trace: commit sequence drawn while locks held (`seq`)
   kThreadExit,     // the recording thread retired its ring (end of its stream)
+  kValidate,       // full-trace: versioned read set validated (`seq` = read
+                   // snapshot, `other` = entries) — the oracle joins the
+                   // clocks of every commit with seq <= snapshot
+  kVersionAbort,   // a versioned section aborted (`other` = reason below);
+                   // always-on like kAborted, bumps the hot-lock table
 };
 
 const char* event_kind_name(EventKind k);
+
+// DebugEvent::other reason codes carried by kVersionAbort.
+inline constexpr int kVersionAbortStale = 0;          // read saw a stamp past the snapshot
+inline constexpr int kVersionAbortWriteConflict = 1;  // foreign write lock outlasted the spin
+inline constexpr int kVersionAbortValidation = 2;     // split/commit re-validation failed
 
 // Marks "lock index unknown" in symbolized events (e.g. an event that
 // only carries a raw address, or a word outside its object's array).
@@ -134,7 +144,10 @@ inline bool lossless() { return detail::gLossless.load(std::memory_order_relaxed
 // Draws the next global commit sequence number (first call returns 1).
 // commit_section draws it while every lock is still held, so the
 // per-lock release->acquire order implies commit-sequence order — the
-// linearization fact the oracle verifies.
+// linearization fact the oracle verifies. Since the versioned-
+// granularity work this delegates to core::advance_version_clock():
+// commit seqs and version stamps are the SAME counter, so a stamp on a
+// versioned word IS the commit seq of the write that produced it.
 uint64_t next_commit_seq();
 
 // True on every kDurationSamplePeriod-th call per thread while enabled;

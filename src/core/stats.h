@@ -29,6 +29,11 @@ struct StatsCounters {
   uint64_t deadlocksResolved = 0;
   uint64_t escalations = 0;        // retry budget exhausted -> serialized retry
 
+  // Versioned (invisible-reader) granularity, LockMap::kVersioned:
+  uint64_t versionedReads = 0;  // stamp-validated reads (no lock-word store)
+  uint64_t validations = 0;     // read-set entries re-validated at split/commit
+  uint64_t versionAborts = 0;   // stale read / write conflict / validation fail
+
   // Transaction-footprint accounting (Table 8): peak bytes per
   // transaction, summed over committed/aborted transactions, plus the
   // count, so the harness can report averages.
@@ -48,6 +53,9 @@ struct StatsCounters {
     casFailures += o.casFailures;
     deadlocksResolved += o.deadlocksResolved;
     escalations += o.escalations;
+    versionedReads += o.versionedReads;
+    validations += o.validations;
+    versionAborts += o.versionAborts;
     rwSetBytesSum += o.rwSetBytesSum;
     bufferBytesSum += o.bufferBytesSum;
     initLogBytesSum += o.initLogBytesSum;
@@ -66,6 +74,9 @@ struct StatsCounters {
     d.casFailures -= earlier.casFailures;
     d.deadlocksResolved -= earlier.deadlocksResolved;
     d.escalations -= earlier.escalations;
+    d.versionedReads -= earlier.versionedReads;
+    d.validations -= earlier.validations;
+    d.versionAborts -= earlier.versionAborts;
     d.rwSetBytesSum -= earlier.rwSetBytesSum;
     d.bufferBytesSum -= earlier.bufferBytesSum;
     d.initLogBytesSum -= earlier.initLogBytesSum;
@@ -77,7 +88,7 @@ struct StatsCounters {
 // Field-completeness guard: add(), diff(), and obs::metrics_json()
 // enumerate every counter by hand. Adding a field without updating all
 // three silently loses data — trip this assert instead.
-static_assert(sizeof(StatsCounters) == 14 * sizeof(uint64_t),
+static_assert(sizeof(StatsCounters) == 17 * sizeof(uint64_t),
               "StatsCounters changed: update add(), diff(), and "
               "obs::metrics_json() to cover the new field(s), then bump "
               "this count");
@@ -87,6 +98,10 @@ struct GlobalGauges {
   std::atomic<uint64_t> lockStructBytes{0};  // live lock structures (Table 8 "Locks")
   std::atomic<uint64_t> heapBytes{0};        // live managed heap (Table 8 "Baseline")
   std::atomic<uint64_t> gcRuns{0};
+  // Live version-stamp words of versioned-mapped classes. These are not
+  // reader bit-sets, so Table 8 reports them in their own column rather
+  // than inflating "Locks".
+  std::atomic<uint64_t> versionWordBytes{0};
 };
 
 GlobalGauges& gauges();

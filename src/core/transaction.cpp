@@ -11,6 +11,7 @@
 #include "core/fault.h"
 #include "core/inject.h"
 #include "core/obs.h"
+#include "runtime/object.h"
 
 namespace sbd::runtime {
 // Defined in runtime/object.cpp: flips a freshly committed instance's
@@ -18,9 +19,11 @@ namespace sbd::runtime {
 // structures not yet allocated) — the init-log commit action of §3.3.
 void publish_new_object(ManagedObject* obj);
 namespace lockplan {
-// Defined in runtime/lockplan.cpp: per-class contention signal for the
-// adaptive lock-granularity controller (independent of obs tracing).
-void note_contention(ManagedObject* obj);
+// Defined in runtime/lockplan.cpp: per-class contention/deadlock
+// signals for the adaptive lock-granularity controller (independent of
+// obs tracing).
+void note_contention(ManagedObject* obj, bool wantWrite);
+void note_deadlock(ManagedObject* obj);
 }  // namespace lockplan
 }  // namespace sbd::runtime
 
@@ -32,6 +35,20 @@ inline std::atomic<LockWord>* as_atomic(LockWord* w) {
   return reinterpret_cast<std::atomic<LockWord>*>(w);
 }
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// The global version/commit clock (LockMap::kVersioned + obs commit seqs)
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> gVersionClock{0};
+}  // namespace
+
+uint64_t version_clock() { return gVersionClock.load(std::memory_order_acquire); }
+
+uint64_t advance_version_clock() {
+  return gVersionClock.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
 
 // ---------------------------------------------------------------------------
 // Transaction
@@ -151,6 +168,10 @@ void clear_section_state(ThreadContext& tc) {
   tc.txn.initLog_.clear();
   tc.txn.resources_.clear();
   tc.txn.deferred_.clear();
+  tc.txn.readSet_.clear();
+  tc.txn.readVersion_ = version_clock();  // the new section's read snapshot
+  tc.txn.commitVersion_ = 0;
+  tc.txn.hasVersionedWrite_ = false;
   tc.txn.clear_abort_request();
   tc.txn.set_inevitable(false);
   tc.sectionStartNanos = now_nanos();
@@ -212,6 +233,9 @@ void checkpoint_section(ThreadContext& tc) {
     tc.noSplitDepth = tc.ckNoSplitDepth;
     tc.allowSplitArmed = tc.ckAllowSplitArmed;
     tc.txn.clear_abort_request();
+    // The abort path cleared the section state before the backoff sleep;
+    // refresh the read snapshot so the retry does not start pre-staled.
+    tc.txn.readVersion_ = version_clock();
     tc.sectionStartNanos = now_nanos();
     tc.sectionBlockedNanos = 0;
   }
@@ -231,6 +255,10 @@ void begin_initial_section(ThreadContext& tc) {
 
 void commit_section(ThreadContext& tc) {
   SBD_CHECK(tc.txn.active());
+  // -1. Versioned read validation, BEFORE anything externally visible:
+  //     a section whose invisible reads were overwritten must abort, so
+  //     neither its resource commits nor its footprint sample happen.
+  LockEngine::versioned_validate(tc);
   // Sampled commit-duration tracing (1-in-kDurationSamplePeriod): one
   // relaxed load + a TLS tick on the unsampled path, cheap enough to
   // stay enabled under the perf-smoke run.
@@ -243,13 +271,19 @@ void commit_section(ThreadContext& tc) {
   for (TxResource* r : tc.txn.resources_) r->on_commit();
   // 2. Publish new instances: locks pointer null -> UNALLOC (§3.3).
   tc.txn.initLog_.for_each([](runtime::ManagedObject* o) { runtime::publish_new_object(o); });
-  // 2b. Full trace: draw the global commit sequence number while every
-  //     lock is still held, so the per-lock release->acquire order
-  //     implies commit-sequence order — the linearization fact the
-  //     sbd::oracle checker verifies offline.
-  if (obs::full_trace())
+  // 2b. Draw the global commit sequence number while every lock is
+  //     still held, so the per-lock release->acquire order implies
+  //     commit-sequence order — the linearization fact the sbd::oracle
+  //     checker verifies offline. The commit seq IS the version stamp
+  //     this section's versioned writes publish (one clock), so it is
+  //     drawn whenever a versioned write lock is held, full trace or
+  //     not.
+  const bool fullTrace = obs::full_trace();
+  if (fullTrace || tc.txn.hasVersionedWrite_)
+    tc.txn.commitVersion_ = advance_version_clock();
+  if (fullTrace)
     obs::record(obs::EventKind::kCommitOrder, tc.txn.id(), -1, nullptr, nullptr,
-                obs::kNoIndex, false, 0, tc.txn.start_seq(), obs::next_commit_seq());
+                obs::kNoIndex, false, 0, tc.txn.start_seq(), tc.txn.commitVersion_);
   // 3. Release all field/element locks and wake waiters.
   LockEngine::release_all(tc, /*committed=*/true);
   TxnManager::instance().digest_slot(tc.txn.id()).store(0, std::memory_order_release);
@@ -313,8 +347,14 @@ void abort_and_restart(ThreadContext& tc) {
   // 1. Discard deferred external effects and rearm replay buffers.
   for (auto it = tc.txn.resources_.rbegin(); it != tc.txn.resources_.rend(); ++it)
     (*it)->on_abort();
-  // 2. Eager version management: restore old values, newest first.
-  tc.txn.undoLog_.for_each_reverse([](UndoEntry& ue) { *ue.slot = ue.oldValue; });
+  // 2. Eager version management: restore old values, newest first. The
+  //    store is atomic(relaxed): under a versioned map an invisible
+  //    reader may load the slot concurrently (its seqlock re-check
+  //    discards the value, but the load itself must not be a data race).
+  tc.txn.undoLog_.for_each_reverse([](UndoEntry& ue) {
+    reinterpret_cast<std::atomic<uint64_t>*>(ue.slot)->store(ue.oldValue,
+                                                             std::memory_order_relaxed);
+  });
   // 3. Release locks; instances in the init log become garbage.
   LockEngine::release_all(tc, /*committed=*/false);
   TxnManager::instance().digest_slot(tc.txn.id()).store(0, std::memory_order_release);
@@ -409,6 +449,9 @@ bool update_digest_and_resolve(ThreadContext& tc, WaitQueue& q, LockWord w) {
   // kBlocked with the same id + epoch).
   obs::record_lock_event(obs::EventKind::kDeadlock, myId, victim, q.boundObj,
                          q.boundWord, false, 0, tc.txn.start_seq(), victimSeq);
+  // Deadlock involvement disqualifies the class from the adaptive
+  // controller's versioned (invisible-reader) auto-selection.
+  runtime::lockplan::note_deadlock(q.boundObj);
   if (victim == myId) return true;
   mgr.request_abort(victim, victimSeq);
   return false;
@@ -438,7 +481,7 @@ void slow_acquire(ThreadContext& tc, runtime::ManagedObject* obj, LockWord* word
   const int myId = tc.txn.id();
   const LockWord myBit = tc.txn.mask();
   tc.stats.contendedAcquires++;
-  runtime::lockplan::note_contention(obj);
+  runtime::lockplan::note_contention(obj, wantWrite || upgrader);
   obs::record_lock_event(obs::EventKind::kBlocked, myId, -1, obj, word,
                          wantWrite || upgrader, 0, tc.txn.start_seq());
   const uint64_t blockStart = now_nanos();
@@ -744,6 +787,17 @@ void LockEngine::release_all(ThreadContext& tc, bool committed) {
       obs::record_lock_event(obs::EventKind::kRelease, tc.txn.id(),
                              committed ? 1 : 0, rec.obj, rec.word, rec.write, 0,
                              tc.txn.start_seq());
+    if (rec.versioned) {
+      // Versioned word: release = publish a fresh stamp. On commit the
+      // stamp is the commit seq; on abort it is a fresh clock draw too —
+      // the data was undone, but re-stamping with the OLD version would
+      // let a concurrent reader's seqlock re-check pass after it loaded
+      // the aborted (since-undone) value. No queues to wake.
+      if (tc.txn.commitVersion_ == 0) tc.txn.commitVersion_ = advance_version_clock();
+      as_atomic(rec.word)->store(version_stamp(tc.txn.commitVersion_),
+                                 std::memory_order_release);
+      return;
+    }
     auto* aw = as_atomic(rec.word);
     LockWord w = aw->load(std::memory_order_acquire);
     LockWord target;
@@ -763,6 +817,185 @@ void LockEngine::release_all(ThreadContext& tc, bool committed) {
     std::lock_guard<std::mutex> lk(q.mu);
     q.notify_waiters();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Versioned (invisible-reader) paths — LockMap::kVersioned
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// A foreign writer holds a versioned word only between its acquire and
+// its commit/abort release; spin this long for it to pass, then abort.
+// Versioned waiters never enqueue, so these words contribute no
+// deadlock edges — bounded spin + abort keeps that property.
+constexpr int kVersionedSpinLimit = 64;
+
+[[noreturn]] void version_abort(ThreadContext& tc, runtime::ManagedObject* obj,
+                                LockWord* word, int reason) {
+  tc.stats.versionAborts++;
+  if (obj && obj->h.cls)
+    obj->h.cls->versionAborts.fetch_add(1, std::memory_order_relaxed);
+  obs::record_lock_event(obs::EventKind::kVersionAbort, tc.txn.id(), reason, obj,
+                         word, false, 0, tc.txn.start_seq());
+  abort_and_restart(tc);
+}
+
+}  // namespace
+
+uint64_t LockEngine::versioned_read(ThreadContext& tc, runtime::ManagedObject* obj,
+                                    LockWord* word, const std::atomic<uint64_t>* slot) {
+  auto* aw = as_atomic(word);
+  if (tc.txn.inevitable()) {
+    // Inevitable sections must never abort, so they cannot carry a
+    // revocable read set: read through an exclusive lock instead.
+    versioned_acquire_write(tc, obj, word);
+    return slot->load(std::memory_order_relaxed);
+  }
+  const uint64_t rv = tc.txn.readVersion_;
+  int spins = 0;
+  for (;;) {
+    const LockWord v1 = aw->load(std::memory_order_acquire);
+    if (version_locked(v1)) {
+      if (version_owner(v1) == tc.txn.id()) {
+        tc.stats.checkOwned++;
+        return slot->load(std::memory_order_relaxed);  // reading our own write
+      }
+      if (++spins <= kVersionedSpinLimit) {
+        Safepoint::poll(tc);
+        std::this_thread::yield();
+        continue;
+      }
+      version_abort(tc, obj, word, obs::kVersionAbortWriteConflict);
+    }
+    // Sandboxing: a stamp later than our snapshot aborts the read BEFORE
+    // the value can influence control flow — a zombie section never gets
+    // to observe state inconsistent with readVersion_.
+    if (version_of(v1) > rv) version_abort(tc, obj, word, obs::kVersionAbortStale);
+    const uint64_t value = slot->load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    // Seqlock re-check: an unchanged word proves no writer overlapped
+    // the data load; on change the loaded value is discarded unseen.
+    if (aw->load(std::memory_order_relaxed) != v1) {
+      spins = 0;
+      continue;
+    }
+    tc.stats.versionedReads++;
+    tc.txn.record_versioned_read(obj, word, v1);
+    return value;
+  }
+}
+
+bool LockEngine::versioned_acquire_write(ThreadContext& tc, runtime::ManagedObject* obj,
+                                         LockWord* word) {
+  auto* aw = as_atomic(word);
+  const int myId = tc.txn.id();
+  const LockWord lockedWord = version_locked_word(myId);
+  // Fault plan parity with acquire_read/acquire_write: at most one
+  // injected CAS failure per call.
+  bool injectCasFail = fault::should_fire(fault::Site::kLockCas);
+  int spins = 0;
+  bool contended = false;
+  for (;;) {
+    LockWord w = aw->load(std::memory_order_acquire);
+    if (version_locked(w)) {
+      if (version_owner(w) == myId) {
+        tc.stats.checkOwned++;
+        return false;  // already ours
+      }
+      if (!contended) {
+        contended = true;
+        tc.stats.contendedAcquires++;
+        runtime::lockplan::note_contention(obj, true);
+        obs::record_lock_event(obs::EventKind::kBlocked, myId, -1, obj, word,
+                               true, 0, tc.txn.start_seq());
+        if (tc.txn.inevitable())
+          tc.lockWaitSinceNanos.store(now_nanos(), std::memory_order_release);
+      }
+      ++spins;
+      if (!tc.txn.inevitable()) {
+        if (spins > kVersionedSpinLimit)
+          version_abort(tc, obj, word, obs::kVersionAbortWriteConflict);
+      } else if ((spins & 0x3FF) == 0) {
+        // Inevitable sections cannot abort themselves; if the owner is
+        // parked in some wait queue, ask IT to abort and release.
+        auto& mgr = TxnManager::instance();
+        const int owner = version_owner(w);
+        if (Transaction* t = mgr.lookup(owner))
+          mgr.request_abort(owner, t->start_seq());
+      }
+      Safepoint::poll(tc);
+      std::this_thread::yield();
+      continue;
+    }
+    // A stamp past our snapshot means a commit overtook this section; a
+    // lock on top would make validation wrongly accept any read-set
+    // entry for the same word (locked-by-self passes unconditionally).
+    if (version_of(w) > tc.txn.readVersion_ && !tc.txn.inevitable())
+      version_abort(tc, obj, word, obs::kVersionAbortStale);
+    if (injectCasFail) {
+      injectCasFail = false;
+      tc.stats.casFailures++;
+      continue;
+    }
+    if (aw->compare_exchange_weak(w, lockedWord, std::memory_order_acq_rel)) {
+      if (contended && tc.txn.inevitable())
+        tc.lockWaitSinceNanos.store(0, std::memory_order_release);
+      tc.txn.record_versioned_lock(obj, word);
+      tc.txn.hasVersionedWrite_ = true;
+      tc.stats.acqRls++;
+      if (obs::full_trace())
+        obs::record_lock_event(obs::EventKind::kAcquire, myId, 0, obj, word, true,
+                               0, tc.txn.start_seq());
+      return true;
+    }
+    tc.stats.casFailures++;
+  }
+}
+
+void LockEngine::versioned_validate(ThreadContext& tc) {
+  auto& txn = tc.txn;
+  const size_t n = txn.readSet_.size();
+  if (n == 0) return;
+  tc.stats.validations += n;
+  bool ok = true;
+  runtime::ManagedObject* failObj = nullptr;
+  LockWord* failWord = nullptr;
+  // Clock unchanged since the snapshot -> no commit can have re-stamped
+  // anything; skip the per-entry sweep (the common read-only case).
+  if (version_clock() != txn.readVersion_) {
+    const int myId = txn.id();
+    txn.readSet_.for_each([&](const VersionedRead& vr) {
+      if (!ok) return;
+      const LockWord w = as_atomic(vr.word)->load(std::memory_order_acquire);
+      if (w == vr.observed) return;                            // stamp unchanged
+      if (version_locked(w) && version_owner(w) == myId) return;  // we wrote it
+      ok = false;
+      failObj = vr.obj;
+      failWord = vr.word;
+    });
+  }
+  if (!ok) version_abort(tc, failObj, failWord, obs::kVersionAbortValidation);
+  // The validation event carries the snapshot (seq = readVersion_): the
+  // oracle joins the clocks of every commit with seq <= readVersion_ —
+  // the happens-before edges invisible reads otherwise leave untraced.
+  if (obs::full_trace())
+    obs::record(obs::EventKind::kValidate, txn.id(), static_cast<int>(n), nullptr,
+                nullptr, obs::kNoIndex, false, 0, txn.start_seq(), txn.readVersion_);
+}
+
+void LockEngine::versioned_promote_for_inevitable(ThreadContext& tc) {
+  auto& txn = tc.txn;
+  if (txn.readSet_.size() == 0) return;
+  // Lock every read-set word: each acquire re-checks the stamp against
+  // the snapshot (any post-read committer re-stamped past readVersion_
+  // and aborts us here, while the section is still revocable). Once all
+  // entries are exclusively ours, no later committer can invalidate the
+  // read set, so the section can safely become unabortable.
+  txn.readSet_.for_each([&](const VersionedRead& vr) {
+    versioned_acquire_write(tc, vr.obj, vr.word);
+  });
+  versioned_validate(tc);
 }
 
 }  // namespace sbd::core

@@ -33,6 +33,10 @@ struct LockRecord {
   LockWord* word;
   bool write;
   bool setUpgrader;  // we set U during an upgrade and must clear it
+  // The word is a versioned stamp word (LockMap::kVersioned): held
+  // exclusively via version_locked_word(), released by storing a fresh
+  // commit stamp instead of clearing member bits.
+  bool versioned = false;
 };
 
 // One eager-versioning undo entry: old value of a 64-bit slot.
@@ -41,6 +45,24 @@ struct UndoEntry {
   uint64_t* slot;
   uint64_t oldValue;
 };
+
+// One invisible read of a versioned word: the stamp observed when the
+// value was read. Re-validated at split/commit — the section may only
+// commit if every observed stamp is still current (or the word is now
+// write-locked by this very transaction).
+struct VersionedRead {
+  runtime::ManagedObject* obj;  // keeps the instance alive for the GC
+  LockWord* word;
+  LockWord observed;  // full word value at read time (a stamp, LSB 0)
+};
+
+// The global version/commit clock backing LockMap::kVersioned stamps
+// and obs commit sequence numbers (they are the same counter, so a
+// stamp IS the commit seq of the write that produced it). version_clock
+// reads the current value; advance_version_clock returns the new,
+// strictly positive value (first advance returns 1).
+uint64_t version_clock();
+uint64_t advance_version_clock();
 
 class Transaction {
  public:
@@ -57,7 +79,13 @@ class Transaction {
     undoLog_.push_back(UndoEntry{obj, slot, oldValue});
   }
   void record_lock(runtime::ManagedObject* obj, LockWord* word, bool write) {
-    lockRecords_.push_back(LockRecord{obj, word, write, false});
+    lockRecords_.push_back(LockRecord{obj, word, write, false, false});
+  }
+  void record_versioned_lock(runtime::ManagedObject* obj, LockWord* word) {
+    lockRecords_.push_back(LockRecord{obj, word, true, false, true});
+  }
+  void record_versioned_read(runtime::ManagedObject* obj, LockWord* word, LockWord observed) {
+    readSet_.push_back(VersionedRead{obj, word, observed});
   }
   // New instances created in this section: on commit their lock pointer
   // flips null -> UNALLOC; on abort they are garbage (init log, §3.3).
@@ -92,7 +120,8 @@ class Transaction {
   }
 
   size_t rw_set_bytes() const {
-    return lockRecords_.size() * sizeof(LockRecord) + undoLog_.size() * sizeof(UndoEntry);
+    return lockRecords_.size() * sizeof(LockRecord) + undoLog_.size() * sizeof(UndoEntry) +
+           readSet_.size() * sizeof(VersionedRead);
   }
   size_t init_log_bytes() const { return initLog_.size() * sizeof(void*); }
   size_t buffer_bytes() const;
@@ -101,6 +130,7 @@ class Transaction {
   size_t undo_entries() const { return undoLog_.size(); }
   const SegmentedLog<LockRecord>& lock_records() const { return lockRecords_; }
   const SegmentedLog<UndoEntry>& undo_log() const { return undoLog_; }
+  const SegmentedLog<VersionedRead>& read_set() const { return readSet_; }
   const SegmentedLog<runtime::ManagedObject*>& init_log() const { return initLog_; }
   const std::vector<TxResource*>& resources() const { return resources_; }
 
@@ -122,6 +152,17 @@ class Transaction {
   SegmentedLog<runtime::ManagedObject*> initLog_;
   std::vector<TxResource*> resources_;
   std::vector<std::function<void()>> deferred_;
+
+  // Versioned (invisible-reader) state. readVersion_ is the snapshot
+  // the section reads at: the clock value when the section began. Every
+  // versioned read with stamp <= readVersion_ is consistent with that
+  // snapshot; a higher stamp aborts the read before the value can be
+  // used (sandboxing). commitVersion_ is the stamp this section's
+  // versioned writes publish, drawn once per section.
+  SegmentedLog<VersionedRead> readSet_;
+  uint64_t readVersion_ = 0;
+  uint64_t commitVersion_ = 0;
+  bool hasVersionedWrite_ = false;
 };
 
 // Thread-local allocation buffer handed out by the managed heap.
@@ -344,6 +385,32 @@ class LockEngine {
   // the full trace (the oracle derives happens-before edges only from
   // committed releases).
   static void release_all(ThreadContext& tc, bool committed);
+
+  // --- Versioned (invisible-reader) paths, LockMap::kVersioned ----------
+  // Invisible read of the 64-bit value behind `slot`, covered by the
+  // versioned stamp `word`: load stamp, load value, fence, re-check the
+  // stamp, append to the read set. Aborts the section (never returns)
+  // on a stale stamp or a foreign write lock that outlasts the bounded
+  // spin — versioned words never block, so they add no deadlock edges.
+  static uint64_t versioned_read(ThreadContext& tc, runtime::ManagedObject* obj,
+                                 LockWord* word, const std::atomic<uint64_t>* slot);
+
+  // Exclusive write lock on a versioned word. Returns true on first
+  // acquisition in this section (caller must log undo), false when the
+  // word was already ours. Aborts on conflict unless inevitable.
+  static bool versioned_acquire_write(ThreadContext& tc, runtime::ManagedObject* obj,
+                                      LockWord* word);
+
+  // Re-validates the whole read set; aborts the section on any changed
+  // stamp. Called at the top of commit/split, before external effects.
+  static void versioned_validate(ThreadContext& tc);
+
+  // Called by become_inevitable() before the section turns unabortable:
+  // validates the read set and promotes every entry to an exclusive
+  // write lock, so no later committer can invalidate it (inevitable
+  // sections must never abort). May abort — the section is still
+  // revocable at this point.
+  static void versioned_promote_for_inevitable(ThreadContext& tc);
 };
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@ RunResult measure_sbd_run(const std::function<uint64_t()>& run) {
   const auto statsBefore = mgr.snapshot_stats();
   const auto vtmBefore = vtm::snapshot_all_threads();
   const uint64_t locksBefore = core::gauges().lockStructBytes.load();
+  const uint64_t stampsBefore = core::gauges().versionWordBytes.load();
   Stopwatch sw;
   const uint64_t checksum = run();
   RunResult r;
@@ -18,6 +19,8 @@ RunResult measure_sbd_run(const std::function<uint64_t()>& run) {
   r.vtm = vtm::diff(vtm::snapshot_all_threads(), vtmBefore);
   const uint64_t locksAfter = core::gauges().lockStructBytes.load();
   r.lockStructBytes = locksAfter > locksBefore ? locksAfter - locksBefore : 0;
+  const uint64_t stampsAfter = core::gauges().versionWordBytes.load();
+  r.versionWordBytes = stampsAfter > stampsBefore ? stampsAfter - stampsBefore : 0;
   return r;
 }
 

@@ -41,7 +41,8 @@ struct RunResult {
   uint64_t checksum = 0;
   core::StatsCounters stm;      // SBD variant only (diff over the run)
   vtm::ModelInput vtm;          // SBD variant only
-  uint64_t lockStructBytes = 0; // gauge delta (Table 8 "Locks")
+  uint64_t lockStructBytes = 0;  // gauge delta (Table 8 "Locks")
+  uint64_t versionWordBytes = 0; // gauge delta (Table 8 "VersionWords")
 };
 
 // The Table 5 effort accounting of our ports, alongside the paper's

@@ -118,13 +118,21 @@ int64_t exec_fn(const Module& m, const Function& f, const int64_t* args, int dep
           break;
         }
         case Op::kGetFNl: {
+          // No-lock accesses ride on a hoisted kLock. Under a versioned
+          // map that lock is exclusive, but invisible readers still load
+          // the word concurrently (and discard it on the stamp
+          // re-check) — so the access itself must be atomic. Relaxed
+          // 64-bit atomics cost nothing on the targets we build for.
           ManagedObject* o = as_obj(locals[ins.b]);
-          locals[ins.a] = static_cast<int64_t>(o->slots()[ins.c]);
+          locals[ins.a] = static_cast<int64_t>(
+              reinterpret_cast<const std::atomic<uint64_t>*>(&o->slots()[ins.c])
+                  ->load(std::memory_order_relaxed));
           break;
         }
         case Op::kSetFNl: {
           ManagedObject* o = as_obj(locals[ins.a]);
-          o->slots()[ins.b] = static_cast<uint64_t>(locals[ins.c]);
+          reinterpret_cast<std::atomic<uint64_t>*>(&o->slots()[ins.b])
+              ->store(static_cast<uint64_t>(locals[ins.c]), std::memory_order_relaxed);
           break;
         }
         case Op::kGetE: {
@@ -141,14 +149,17 @@ int64_t exec_fn(const Module& m, const Function& f, const int64_t* args, int dep
         }
         case Op::kGetENl: {
           ManagedObject* o = as_obj(locals[ins.b]);
-          locals[ins.a] =
-              static_cast<int64_t>(o->array_data()[static_cast<uint64_t>(locals[ins.c])]);
+          locals[ins.a] = static_cast<int64_t>(
+              reinterpret_cast<const std::atomic<uint64_t>*>(
+                  &o->array_data()[static_cast<uint64_t>(locals[ins.c])])
+                  ->load(std::memory_order_relaxed));
           break;
         }
         case Op::kSetENl: {
           ManagedObject* o = as_obj(locals[ins.a]);
-          o->array_data()[static_cast<uint64_t>(locals[ins.b])] =
-              static_cast<uint64_t>(locals[ins.c]);
+          reinterpret_cast<std::atomic<uint64_t>*>(
+              &o->array_data()[static_cast<uint64_t>(locals[ins.b])])
+              ->store(static_cast<uint64_t>(locals[ins.c]), std::memory_order_relaxed);
           break;
         }
         case Op::kLen: {

@@ -57,6 +57,17 @@ bool map_is_static(const runtime::ClassInfo* cls) {
          cls->lockMapPinned.load(std::memory_order_relaxed);
 }
 
+// Versioned maps need no special casing in this pass. Invisible reads
+// exist only on the value paths (kGetF/kGetE -> tx_read*), which O1
+// never rewrites; a kLock on a versioned class acquires the covered
+// word EXCLUSIVELY (runtime/field_access.h pins the IL path to
+// versioned_acquire_write), so a held fact still means "this word
+// cannot change until the section ends" — exactly the invariant
+// redundant-lock elimination relies on. If kLock were ever lowered to
+// an invisible read-set append instead, eliminating a covered re-lock
+// would skip that read's stale check and admit zombie executions; any
+// such change must add a versioned gate here.
+
 struct State {
   bool top = true;  // "unvisited": identity of the intersection meet
   std::set<uint64_t> facts;

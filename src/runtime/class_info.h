@@ -45,12 +45,16 @@ struct SlotDesc {
 //   field      identity map — the faithful Fig. 4 default
 //   striped(k) natural index mod k — k lock words per instance
 //   object     one lock word for the whole instance
+//   versioned  identity-width map of *version stamps* (TL2-style
+//              invisible readers): reads validate against the global
+//              commit clock instead of writing reader bits, writes
+//              still lock exclusively (see core/lockword.h)
 //
 // The map talks in *natural* lock indices (what lock_index() computed
 // before this seam existed): fields and word-array elements map 1:1,
 // byte arrays are first reduced to 64-byte blocks (kI8LockStride).
 struct LockMap {
-  enum Kind : uint8_t { kField = 0, kStriped = 1, kObject = 2 };
+  enum Kind : uint8_t { kField = 0, kStriped = 1, kObject = 2, kVersioned = 3 };
   Kind kind = kField;
   uint32_t stripes = 1;  // meaningful for kStriped only; >= 1
 
@@ -59,13 +63,18 @@ struct LockMap {
     return LockMap{kStriped, k < 1 ? 1u : k};
   }
   static LockMap object_map() { return LockMap{kObject, 1}; }
+  static LockMap versioned_map() { return LockMap{kVersioned, 1}; }
 
   bool identity() const { return kind == kField; }
+  bool versioned() const { return kind == kVersioned; }
 
   // Lock words an instance with `naturalCount` natural indices needs.
+  // Versioned maps keep identity width: one stamp word per natural
+  // index, so conflict detection stays per-field/per-element.
   uint32_t width(uint32_t naturalCount) const {
     switch (kind) {
       case kField:
+      case kVersioned:
         return naturalCount;
       case kStriped:
         return naturalCount < stripes ? naturalCount : stripes;
@@ -79,6 +88,7 @@ struct LockMap {
   uint32_t index(uint32_t naturalIndex) const {
     switch (kind) {
       case kField:
+      case kVersioned:
         return naturalIndex;
       case kStriped:
         return naturalIndex % stripes;
@@ -113,6 +123,8 @@ struct LockMap {
         return "field";
       case kStriped:
         return "striped:" + std::to_string(stripes);
+      case kVersioned:
+        return "versioned";
       case kObject:
       default:
         return "object";
@@ -153,6 +165,16 @@ struct ClassInfo {
   // Bumped by the contended-acquire slow path; the adaptive
   // controller's contention signal (independent of obs tracing).
   std::atomic<uint64_t> contentionEvents{0};
+  // Read/write breakdown of contentionEvents: the adaptive controller
+  // selects versioned maps for read-mostly contended classes.
+  std::atomic<uint64_t> contendedReads{0};
+  std::atomic<uint64_t> contendedWrites{0};
+  // Bumped when a deadlock resolution involved an instance of this
+  // class; the controller never picks versioned for such classes.
+  std::atomic<uint64_t> deadlockEvents{0};
+  // Stale-read / validation aborts on versioned words of this class;
+  // an abort storm scorches the class back to field granularity.
+  std::atomic<uint64_t> versionAborts{0};
 
   LockMap lock_map() const {
     return LockMap::from_bits(lockMapBits.load(std::memory_order_relaxed));

@@ -20,6 +20,8 @@
 // thin compatibility wrapper that resolves the TLS itself.
 #pragma once
 
+#include <cstring>
+
 #include "common/check.h"
 #include "core/lockword.h"
 #include "core/transaction.h"
@@ -49,6 +51,87 @@ inline core::LockWord* locks_or_materialize(core::ThreadContext& tc, ManagedObje
   return lp;
 }
 
+// --- Versioned (invisible-reader) access, LockMap::kVersioned ----------
+// The stamp granule is the natural index (identity width), so every
+// stamp word covers exactly one 64-bit data word: a field slot, an
+// array element, or an 8-byte byte-array block (kI8LockStride == 8).
+// All data accesses go through std::atomic (relaxed): an invisible
+// reader's load may physically overlap a locked writer's store — the
+// seqlock re-check discards such values, but the accesses themselves
+// must be data-race-free.
+
+// The 64-bit data word covered by natural index `slot`.
+inline const uint64_t* covered_word(ManagedObject* o, uint64_t slot) {
+  if (!o->is_array()) return &o->slots()[slot];
+  if (o->h.cls->elemKind == ElemKind::kI8) return o->array_data() + slot / kI8LockStride;
+  return o->array_data() + slot;
+}
+
+// Versioned maps are identity by construction (one stamp per natural
+// index), so the stamp index skips the generic lock_map() decode that
+// lock_index() pays — on the invisible-read fast path that decode and
+// its out-of-line call are measurable.
+inline uint32_t versioned_lock_index(const ManagedObject* o, uint64_t slot) {
+  if (o->h.cls->isArray && o->h.cls->elemKind == ElemKind::kI8)
+    return static_cast<uint32_t>(slot / kI8LockStride);
+  return static_cast<uint32_t>(slot);
+}
+
+// Invisible read of the covered word: load stamp, load value, fence,
+// re-check stamp, append to the read set (validated at split/commit).
+// The one-shot seqlock attempt is inlined; a locked or stale stamp, a
+// torn re-check, or an inevitable section falls back to the engine,
+// which re-runs the protocol from scratch (spin, abort, promote).
+inline uint64_t versioned_read_word(core::ThreadContext& tc, ManagedObject* o,
+                                    uint64_t slot, const uint64_t* slotPtr) {
+  maybe_poll(tc);
+  const auto* aslot = reinterpret_cast<const std::atomic<uint64_t>*>(slotPtr);
+  if (!tc.txn.active()) return aslot->load(std::memory_order_relaxed);
+  core::LockWord* lp = o->locks.load(std::memory_order_acquire);
+  if (lp == nullptr) {  // (1) new in this transaction
+    tc.stats.checkNew++;
+    return aslot->load(std::memory_order_relaxed);
+  }
+  lp = locks_or_materialize(tc, o, lp);  // (2)
+  core::LockWord* word = lp + versioned_lock_index(o, slot);
+  auto* aw = reinterpret_cast<std::atomic<core::LockWord>*>(word);
+  const core::LockWord v1 = aw->load(std::memory_order_acquire);
+  if (!core::version_locked(v1) && core::version_of(v1) <= tc.txn.readVersion_ &&
+      !tc.txn.inevitable()) [[likely]] {
+    const uint64_t value = aslot->load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (aw->load(std::memory_order_relaxed) == v1) [[likely]] {
+      tc.stats.versionedReads++;
+      tc.txn.record_versioned_read(o, word, v1);
+      return value;
+    }
+  }
+  return core::LockEngine::versioned_read(tc, o, word, aslot);
+}
+
+// Exclusive write lock on the covered word + undo log on first
+// acquisition. Returns the atomic slot the caller stores through.
+inline std::atomic<uint64_t>* versioned_write_word(core::ThreadContext& tc,
+                                                   ManagedObject* o, uint64_t slot,
+                                                   uint64_t* slotPtr) {
+  maybe_poll(tc);
+  auto* aslot = reinterpret_cast<std::atomic<uint64_t>*>(slotPtr);
+  if (!tc.txn.active()) return aslot;
+  core::LockWord* lp = o->locks.load(std::memory_order_acquire);
+  if (lp == nullptr) {
+    tc.stats.checkNew++;
+    return aslot;  // new instance: no locking, no undo
+  }
+  lp = locks_or_materialize(tc, o, lp);
+  core::LockWord* word = lp + versioned_lock_index(o, slot);
+  // The stamp granule and the undo granule coincide (one covered word),
+  // so only the first acquisition needs to log — owned re-hits are
+  // check-only even for byte-array blocks.
+  if (core::LockEngine::versioned_acquire_write(tc, o, word))
+    tc.txn.log_undo(o, slotPtr, aslot->load(std::memory_order_relaxed));
+  return aslot;
+}
+
 }  // namespace detail
 
 // Ensures the current transaction may read `slot` of `o` (Fig. 5 path).
@@ -62,6 +145,20 @@ inline void tx_lock_read(core::ThreadContext& tc, ManagedObject* o, uint64_t slo
     return;
   }
   lp = detail::locks_or_materialize(tc, o, lp);  // (2)
+  if (o->h.cls->lock_map().versioned()) {
+    // Direct kLock callers (the IL interpreter) follow up with raw
+    // non-atomic slot accesses (kGetFNl/kSetFNl) that an invisible
+    // read cannot make safe, so a versioned kLock takes the covered
+    // word exclusively. Undo is logged even for reads: a later owned
+    // write hit then never needs a re-log.
+    auto* vs = const_cast<uint64_t*>(detail::covered_word(o, slot));
+    if (core::LockEngine::versioned_acquire_write(
+            tc, o, lp + detail::versioned_lock_index(o, slot)))
+      tc.txn.log_undo(o, vs,
+                      reinterpret_cast<std::atomic<uint64_t>*>(vs)->load(
+                          std::memory_order_relaxed));
+    return;
+  }
   core::LockWord* word = lp + lock_index(o, slot);
   const core::LockWord w =
       reinterpret_cast<std::atomic<core::LockWord>*>(word)->load(std::memory_order_acquire);
@@ -84,6 +181,14 @@ inline void tx_lock_write(core::ThreadContext& tc, ManagedObject* o, uint64_t sl
     return;  // new instance: no locking, no undo (discarded on abort)
   }
   lp = detail::locks_or_materialize(tc, o, lp);  // (2)
+  if (o->h.cls->lock_map().versioned()) {
+    if (core::LockEngine::versioned_acquire_write(
+            tc, o, lp + detail::versioned_lock_index(o, slot)))
+      tc.txn.log_undo(o, valueSlot,
+                      reinterpret_cast<std::atomic<uint64_t>*>(valueSlot)->load(
+                          std::memory_order_relaxed));
+    return;
+  }
   core::LockWord* word = lp + lock_index(o, slot);
   const core::LockWord w =
       reinterpret_cast<std::atomic<core::LockWord>*>(word)->load(std::memory_order_acquire);
@@ -106,6 +211,8 @@ inline void tx_lock_write(core::ThreadContext& tc, ManagedObject* o, uint64_t sl
 inline uint64_t tx_read(core::ThreadContext& tc, ManagedObject* o, uint32_t slot) {
   SBD_DCHECK(!o->is_array() && slot < o->h.cls->slotCount);
   SBD_DCHECK(!o->h.cls->slot_is_final(slot));
+  if (o->h.cls->lock_map().versioned())
+    return detail::versioned_read_word(tc, o, slot, &o->slots()[slot]);
   tx_lock_read(tc, o, slot);
   return o->slots()[slot];
 }
@@ -114,6 +221,11 @@ inline void tx_write(core::ThreadContext& tc, ManagedObject* o, uint32_t slot,
                      uint64_t v) {
   SBD_DCHECK(!o->is_array() && slot < o->h.cls->slotCount);
   SBD_DCHECK(!o->h.cls->slot_is_final(slot));
+  if (o->h.cls->lock_map().versioned()) {
+    detail::versioned_write_word(tc, o, slot, &o->slots()[slot])
+        ->store(v, std::memory_order_relaxed);
+    return;
+  }
   tx_lock_write(tc, o, slot, &o->slots()[slot]);
   o->slots()[slot] = v;
 }
@@ -146,6 +258,8 @@ inline void init_write(ManagedObject* o, uint32_t slot, uint64_t v) {
 
 inline uint64_t tx_read_elem(core::ThreadContext& tc, ManagedObject* a, uint64_t idx) {
   SBD_DCHECK(a->is_array() && idx < a->array_length());
+  if (a->h.cls->lock_map().versioned())
+    return detail::versioned_read_word(tc, a, idx, &a->array_data()[idx]);
   tx_lock_read(tc, a, idx);
   return a->array_data()[idx];
 }
@@ -153,6 +267,11 @@ inline uint64_t tx_read_elem(core::ThreadContext& tc, ManagedObject* a, uint64_t
 inline void tx_write_elem(core::ThreadContext& tc, ManagedObject* a, uint64_t idx,
                           uint64_t v) {
   SBD_DCHECK(a->is_array() && idx < a->array_length());
+  if (a->h.cls->lock_map().versioned()) {
+    detail::versioned_write_word(tc, a, idx, &a->array_data()[idx])
+        ->store(v, std::memory_order_relaxed);
+    return;
+  }
   tx_lock_write(tc, a, idx, &a->array_data()[idx]);
   a->array_data()[idx] = v;
 }
@@ -168,6 +287,16 @@ inline void tx_write_elem(ManagedObject* a, uint64_t idx, uint64_t v) {
 inline int8_t tx_read_i8(core::ThreadContext& tc, ManagedObject* a, uint64_t idx) {
   SBD_DCHECK(a->is_array() && a->h.cls->elemKind == ElemKind::kI8 &&
              idx < a->array_length());
+  if (a->h.cls->lock_map().versioned()) {
+    // The validated value is the whole covered 64-bit word; extract the
+    // byte from the local copy (memcpy reproduces memory byte order, so
+    // this matches array_data_i8()[idx] on any endianness).
+    const uint64_t w = detail::versioned_read_word(
+        tc, a, idx, a->array_data() + idx / kI8LockStride);
+    int8_t b;
+    std::memcpy(&b, reinterpret_cast<const char*>(&w) + (idx % kI8LockStride), 1);
+    return b;
+  }
   tx_lock_read(tc, a, idx);
   return a->array_data_i8()[idx];
 }
@@ -179,6 +308,16 @@ inline void tx_write_i8(core::ThreadContext& tc, ManagedObject* a, uint64_t idx,
   SBD_DCHECK(a->is_array() && a->h.cls->elemKind == ElemKind::kI8 &&
              idx < a->array_length());
   uint64_t* wordSlot = a->array_data() + idx / 8;
+  if (a->h.cls->lock_map().versioned()) {
+    // Exclusive lock + undo on the containing word; then a byte-wide
+    // atomic store (invisible readers load the word atomically, so the
+    // store must be atomic too — the mixed widths are fine, readers
+    // that overlap it are discarded by their seqlock re-check).
+    detail::versioned_write_word(tc, a, idx, wordSlot);
+    reinterpret_cast<std::atomic<int8_t>*>(a->array_data_i8() + idx)
+        ->store(v, std::memory_order_relaxed);
+    return;
+  }
   tx_lock_write(tc, a, idx, wordSlot);
   a->array_data_i8()[idx] = v;
 }

@@ -369,6 +369,10 @@ void Heap::mark_from_roots() {
     // Transaction-held references.
     t->txn.lock_records().for_each(
         [&](const core::LockRecord& lr) { mark_object(lr.obj); });
+    // Versioned read sets pin their objects too: commit-time validation
+    // dereferences vr.word, which lives in the object's lock array.
+    t->txn.read_set().for_each(
+        [&](const core::VersionedRead& vr) { mark_object(vr.obj); });
     t->txn.undo_log().for_each([&](const core::UndoEntry& ue) {
       mark_object(ue.obj);
       // Old values of reference slots must stay alive for rollback.

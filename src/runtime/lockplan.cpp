@@ -38,6 +38,8 @@ Config parse_env() {
     cfg.mode = Mode::kField;
   } else if (s == "object") {
     cfg.mode = Mode::kObject;
+  } else if (s == "versioned") {
+    cfg.mode = Mode::kVersioned;
   } else if (s == "adaptive") {
     cfg.mode = Mode::kAdaptive;
   } else if (s.rfind("striped", 0) == 0) {
@@ -118,11 +120,23 @@ std::mutex gReplanMu;
 // Controller memory, guarded by gReplanMu. "scorched" = the class has
 // shown contention at least once; it is reverted to field granularity
 // and never re-coarsened (hysteresis against coarsen/revert flapping).
+// "versionScorched" = the class stormed version aborts while running
+// the versioned map; it is never promoted to versioned again.
 struct AdaptState {
   uint64_t lastContention = 0;
+  uint64_t lastVersionAborts = 0;
   bool scorched = false;
+  bool versionScorched = false;
 };
 std::unordered_map<ClassInfo*, AdaptState> gAdapt;
+
+// Versioned-promotion thresholds: a class is "read-mostly" once its
+// contended reads clear a floor AND outnumber contended writes 4:1; a
+// versioned class that burns this many validation/stale aborts in one
+// controller cycle is losing more work than invisible readers save.
+constexpr uint64_t kReadMostlyFloor = 16;
+constexpr uint64_t kReadMostlyRatio = 4;
+constexpr uint64_t kVersionAbortStormPerCycle = 128;
 
 std::unique_lock<std::mutex> lock_replan_safely(core::ThreadContext& tc) {
   std::unique_lock<std::mutex> lk(gReplanMu, std::try_to_lock);
@@ -139,9 +153,32 @@ LockMap desired_map(ClassInfo* ci, AdaptState& st) {
   if (ci->lockMapPinned.load(std::memory_order_relaxed))
     return hint != kNoLockHint ? LockMap::from_bits(hint) : ci->lock_map();
   const uint64_t events = ci->contentionEvents.load(std::memory_order_relaxed);
+  const uint64_t vAborts = ci->versionAborts.load(std::memory_order_relaxed);
   const bool hot = events != st.lastContention;
+  const uint64_t abortDelta = vAborts - st.lastVersionAborts;
   st.lastContention = events;
+  st.lastVersionAborts = vAborts;
   if (hot) st.scorched = true;
+  // Version-abort storm: invisible readers are re-executing more work
+  // than their missing acquire/release pairs save. Scorch back to field
+  // granularity and never retry the promotion.
+  if (ci->lock_map().versioned() && abortDelta >= kVersionAbortStormPerCycle) {
+    st.versionScorched = true;
+    return LockMap::field_map();
+  }
+  if (!st.versionScorched &&
+      ci->deadlockEvents.load(std::memory_order_relaxed) == 0) {
+    // Sticky: a versioned class that is neither storming nor
+    // deadlocking stays versioned (its own write conflicts keep the
+    // contention signal "hot", which must not bounce it to field).
+    if (ci->lock_map().versioned()) return LockMap::versioned_map();
+    // Promotion: contended but read-mostly — the invisible-reader
+    // protocol removes the read-side lock traffic entirely.
+    const uint64_t reads = ci->contendedReads.load(std::memory_order_relaxed);
+    const uint64_t writes = ci->contendedWrites.load(std::memory_order_relaxed);
+    if (reads >= kReadMostlyFloor && reads >= kReadMostlyRatio * (writes + 1))
+      return LockMap::versioned_map();
+  }
   if (st.scorched) return LockMap::field_map();
   if (hint != kNoLockHint) return LockMap::from_bits(hint);
   return LockMap::object_map();
@@ -164,6 +201,18 @@ uint64_t apply_stopped(std::unordered_map<ClassInfo*, Candidate>& cand) {
   // chaos can observe long re-plan pauses (and the watchdog heartbeat).
   if (const uint64_t d = sbd::fault::fire_delay_nanos(sbd::fault::Site::kReplanVeto))
     std::this_thread::sleep_for(std::chrono::nanoseconds(d));
+  // Versioned read sets hold raw pointers into lock-word arrays (the
+  // invisible reader touches no word, so nothing on the object records
+  // its interest). Releasing such an array mid-transaction would leave
+  // the parked reader's commit validation chasing pool-recycled memory
+  // — veto every candidate class any live read set references.
+  core::TxnManager::instance().for_each_thread([&](core::ThreadContext* t) {
+    if (!t->txn.active()) return;  // idle threads clear the set on begin
+    t->txn.read_set().for_each([&](const core::VersionedRead& vr) {
+      auto it = cand.find(vr.obj->h.cls);
+      if (it != cand.end()) it->second.vetoed = true;
+    });
+  });
   Heap::instance().for_each_object([&](ManagedObject* o) {
     auto it = cand.find(o->h.cls);
     if (it == cand.end() || it->second.vetoed) return;
@@ -171,12 +220,16 @@ uint64_t apply_stopped(std::unordered_map<ClassInfo*, Candidate>& cand) {
     // nullptr = new in a (parked) transaction, kUnalloc = lazy: neither
     // has lock words to migrate; both materialize under the new map.
     if (lp == nullptr || lp == kUnalloc) return;
+    const bool versioned = o->h.cls->lock_map().versioned();
     const uint32_t n = lock_count(o);  // width under the CURRENT map
     for (uint32_t i = 0; i < n; i++) {
       // Any nonzero word — held lock (member bits), writer/upgrader
       // flag, or a bound wait queue (threads parked in slow_acquire
-      // leave their queue id in the word) — vetoes the class.
-      if (lp[i] != 0) {
+      // leave their queue id in the word) — vetoes the class. Under a
+      // versioned map a nonzero word is usually just a version stamp;
+      // only the LSB (write-locked) marks live state there.
+      const bool live = versioned ? core::version_locked(lp[i]) : lp[i] != 0;
+      if (live) {
         it->second.vetoed = true;
         it->second.materialized.clear();
         return;
@@ -236,6 +289,8 @@ const char* mode_name() {
       return "striped";
     case Mode::kObject:
       return "object";
+    case Mode::kVersioned:
+      return "versioned";
     case Mode::kAdaptive:
     default:
       return "adaptive";
@@ -248,6 +303,8 @@ LockMap initial_map() {
       return LockMap::striped_map(config().stripes);
     case Mode::kObject:
       return LockMap::object_map();
+    case Mode::kVersioned:
+      return LockMap::versioned_map();
     case Mode::kField:
     case Mode::kAdaptive:  // starts faithful; coarsens from data
     default:
@@ -261,6 +318,8 @@ LockMap make_map(LockGranularity g, uint32_t stripes) {
       return LockMap::striped_map(stripes);
     case LockGranularity::kObject:
       return LockMap::object_map();
+    case LockGranularity::kVersioned:
+      return LockMap::versioned_map();
     case LockGranularity::kField:
     default:
       return LockMap::field_map();
@@ -274,8 +333,16 @@ void on_class_registered(ClassInfo* ci) {
   if (config().mode == Mode::kAdaptive) start_controller();
 }
 
-void note_contention(ManagedObject* obj) {
-  obj->h.cls->contentionEvents.fetch_add(1, std::memory_order_relaxed);
+void note_contention(ManagedObject* obj, bool wantWrite) {
+  ClassInfo* cls = obj->h.cls;
+  cls->contentionEvents.fetch_add(1, std::memory_order_relaxed);
+  (wantWrite ? cls->contendedWrites : cls->contendedReads)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+void note_deadlock(ManagedObject* obj) {
+  if (obj == nullptr) return;
+  obj->h.cls->deadlockEvents.fetch_add(1, std::memory_order_relaxed);
 }
 
 void hint_class_map(ClassInfo* ci, LockMap m) {

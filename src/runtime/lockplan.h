@@ -3,16 +3,20 @@
 // The paper hard-wires one lock per field (Fig. 4). This layer decides,
 // per class, which LockMap the instances use, from three sources:
 //
-//   1. SBD_LOCK_GRANULARITY=field|striped:<k>|object|adaptive — the
-//      process-wide mode, parsed once. Fixed modes apply their map at
-//      class registration and never change it; `field` (the default)
-//      is bit-for-bit the pre-LockMap behaviour.
+//   1. SBD_LOCK_GRANULARITY=field|striped:<k>|object|versioned|adaptive
+//      — the process-wide mode, parsed once. Fixed modes apply their
+//      map at class registration and never change it; `field` (the
+//      default) is bit-for-bit the pre-LockMap behaviour; `versioned`
+//      runs every class on the invisible-reader protocol (per-word
+//      version stamps, commit-time read validation).
 //   2. set_lock_granularity() — a per-class pin from user code.
 //   3. The adaptive controller: a background thread that periodically
 //      coarsens cold classes (fewer lock words -> fewer acquire/release
 //      pairs, "On the Cost of Concurrency in TM"'s uncontended-cost
-//      argument) and reverts classes that show contention back to field
-//      granularity, using ClassInfo::contentionEvents as the signal.
+//      argument), reverts classes that show contention back to field
+//      granularity using ClassInfo::contentionEvents as the signal, and
+//      promotes contended-but-read-mostly, deadlock-free classes to the
+//      versioned map (scorching back to field on version-abort storms).
 //
 // Re-plan safety: a map change swaps the width and indexing of every
 // instance's lock array, so it happens only under stop-the-world, and
@@ -29,11 +33,11 @@
 namespace sbd::runtime {
 
 // User-facing granularity names (re-exported by api/sbd.h).
-enum class LockGranularity : uint8_t { kField, kStriped, kObject };
+enum class LockGranularity : uint8_t { kField, kStriped, kObject, kVersioned };
 
 namespace lockplan {
 
-enum class Mode : uint8_t { kField, kStriped, kObject, kAdaptive };
+enum class Mode : uint8_t { kField, kStriped, kObject, kAdaptive, kVersioned };
 
 // Process-wide mode from SBD_LOCK_GRANULARITY (parsed once, cached).
 Mode mode();
@@ -59,8 +63,16 @@ bool set_class_map(ClassInfo* ci, LockMap m);
 // instead of the default `object` map). No effect under fixed modes.
 void hint_class_map(ClassInfo* ci, LockMap m);
 
-// Contention signal from the contended-acquire slow path.
-void note_contention(ManagedObject* obj);
+// Contention signal from the contended-acquire slow path. `wantWrite`
+// splits the per-class counters the adaptive versioned promotion needs
+// (read-mostly classes are the invisible-reader win case).
+void note_contention(ManagedObject* obj, bool wantWrite = false);
+
+// Deadlock-resolution signal (Dreadlocks victim chosen on a queue bound
+// to `obj`). A class that has EVER deadlocked is never promoted to the
+// versioned map: versioned words bypass the detector entirely, so the
+// promotion must not hide cycles the workload actually produces.
+void note_deadlock(ManagedObject* obj);
 
 // One decision + apply cycle; returns how many class maps changed.
 // The controller calls this periodically; tests call it directly.

@@ -44,9 +44,12 @@ core::LockWord* materialize_locks(ManagedObject* o) {
     // The gauge counts the semantic size (one word per MAPPED lock, so
     // coarse LockMaps report their real footprint) of LIVE structures
     // only — class rounding and pooled-free arrays are invisible,
-    // keeping Table 8 byte-exact across the pool change.
-    core::gauges().lockStructBytes.fetch_add(n * sizeof(core::LockWord),
-                                             std::memory_order_relaxed);
+    // keeping Table 8 byte-exact across the pool change. Versioned
+    // stamp words are metadata of a different kind (no queues, no
+    // member bits) and get their own Table 8 column.
+    auto& gauge = o->h.cls->lock_map().versioned() ? core::gauges().versionWordBytes
+                                                   : core::gauges().lockStructBytes;
+    gauge.fetch_add(n * sizeof(core::LockWord), std::memory_order_relaxed);
     return fresh;
   }
   LockPool::instance().release(fresh, n);  // lost the race; use the winner's array
@@ -62,8 +65,9 @@ void release_locks(ManagedObject* o) {
   core::LockWord* lp = o->locks.load(std::memory_order_acquire);
   if (lp != nullptr && lp != kUnalloc) {
     const uint32_t n = lock_count(o);
-    core::gauges().lockStructBytes.fetch_sub(n * sizeof(core::LockWord),
-                                             std::memory_order_relaxed);
+    auto& gauge = o->h.cls->lock_map().versioned() ? core::gauges().versionWordBytes
+                                                   : core::gauges().lockStructBytes;
+    gauge.fetch_sub(n * sizeof(core::LockWord), std::memory_order_relaxed);
     LockPool::instance().release(lp, n);
   }
   o->locks.store(kUnalloc, std::memory_order_release);

@@ -10,7 +10,7 @@ namespace sbd::runtime {
 void MemorySampler::start() {
   SBD_CHECK_MSG(!running_.load(), "sampler already running");
   stopRequested_.store(false, std::memory_order_release);
-  sumHeap_ = sumLocks_ = samples_ = collections_ = 0;
+  sumHeap_ = sumLocks_ = sumStamps_ = samples_ = collections_ = 0;
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { run(); });
 }
@@ -30,6 +30,7 @@ MemoryAverages MemorySampler::stop() {
   if (samples_ > 0) {
     avg.liveHeapBytes = static_cast<double>(sumHeap_) / static_cast<double>(samples_);
     avg.lockStructBytes = static_cast<double>(sumLocks_) / static_cast<double>(samples_);
+    avg.versionWordBytes = static_cast<double>(sumStamps_) / static_cast<double>(samples_);
   }
   avg.samples = samples_;
   avg.collections = collections_;
@@ -43,6 +44,7 @@ void MemorySampler::run() {
     collections_++;
     sumHeap_ += Heap::instance().stats().liveBytes;
     sumLocks_ += core::gauges().lockStructBytes.load(std::memory_order_relaxed);
+    sumStamps_ += core::gauges().versionWordBytes.load(std::memory_order_relaxed);
     samples_++;
     {
       // Safe region: other threads' collections must not wait out the

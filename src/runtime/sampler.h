@@ -17,11 +17,13 @@ namespace sbd::runtime {
 struct MemorySample {
   uint64_t liveHeapBytes = 0;
   uint64_t lockStructBytes = 0;
+  uint64_t versionWordBytes = 0;
 };
 
 struct MemoryAverages {
   double liveHeapBytes = 0;
   double lockStructBytes = 0;
+  double versionWordBytes = 0;  // stamp arrays (versioned granularity)
   uint64_t samples = 0;
   uint64_t collections = 0;
 };
@@ -52,6 +54,7 @@ class MemorySampler {
   // Accumulated under the sampler thread only.
   uint64_t sumHeap_ = 0;
   uint64_t sumLocks_ = 0;
+  uint64_t sumStamps_ = 0;
   uint64_t samples_ = 0;
   uint64_t collections_ = 0;
 };

@@ -139,6 +139,43 @@ TEST(LockPlanAdaptive, PinOverridesThePolicyBothWays) {
   EXPECT_EQ(PinnedSix::klass()->lock_map(), LockMap::striped_map(3));
 }
 
+class ReadMostly : public runtime::TypedRef<ReadMostly> {
+ public:
+  SBD_CLASS(AdaptReadMostly, SBD_SLOT("r0"), SBD_SLOT("r1"))
+  SBD_FIELD_I64(0, r0)
+};
+
+TEST(LockPlanAdaptive, ReadMostlyContentionPromotesToVersionedThenStormScorches) {
+  runtime::GlobalRoot<ReadMostly> root;
+  run_sbd([&] {
+    ReadMostly r = ReadMostly::alloc();
+    r.init_r0(0);
+    root.set(r);
+  });
+  // Contended READS with no writes and no deadlocks: instead of
+  // scorching back to field, the policy prefers the invisible-reader
+  // map — readers stop queueing on lock words entirely.
+  for (int i = 0; i < 20; i++)
+    runtime::lockplan::note_contention(root.get().raw(), /*wantWrite=*/false);
+  EXPECT_TRUE(wait_for([] {
+    return ReadMostly::klass()->lock_map() == LockMap::versioned_map();
+  })) << ReadMostly::klass()->lock_map().to_string();
+  // A validation-abort storm (stale-read churn) scorches versioned...
+  ReadMostly::klass()->versionAborts.fetch_add(500);
+  EXPECT_TRUE(wait_for([] {
+    return ReadMostly::klass()->lock_map() == LockMap::field_map();
+  })) << ReadMostly::klass()->lock_map().to_string();
+  // ...permanently: the read signal is still present, but the class
+  // must not flap back to versioned.
+  runtime::lockplan::note_contention(root.get().raw(), /*wantWrite=*/false);
+  {
+    auto& tc = core::tls_context();
+    core::Safepoint::SafeScope safe(tc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_EQ(ReadMostly::klass()->lock_map(), LockMap::field_map());
+}
+
 TEST(LockPlanAdaptive, MetricsJsonExposesTheLockplanBlock) {
   const std::string j = obs::metrics_json();
   EXPECT_NE(j.find("\"lockplan\""), std::string::npos);
