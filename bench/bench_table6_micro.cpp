@@ -14,7 +14,11 @@
 // reproduced result: New is nearly free, Owned costs one check, and
 // Acq&Rls dominates, with sequential access amplifying the relative
 // overhead because the baseline is cache-friendly.
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "api/sbd.h"
 #include "common/options.h"
@@ -22,6 +26,7 @@
 #include "common/table.h"
 #include "common/timing.h"
 #include "core/obs.h"
+#include "threads/sbd_thread.h"
 
 namespace {
 
@@ -32,6 +37,87 @@ class Field1 : public runtime::TypedRef<Field1> {
   SBD_CLASS(MicroField1, SBD_SLOT("value"))
   SBD_FIELD_I64(0, value)
 };
+
+// The contended-queue row: every thread write-locks the same striped
+// word, so the wait/park subsystem — not the lock fast path — is what
+// gets measured.
+class HotCell : public runtime::TypedRef<HotCell> {
+ public:
+  SBD_CLASS(MicroHotCell, SBD_SLOT("n"))
+  SBD_FIELD_I64(0, n)
+};
+
+struct ContendedResult {
+  double seconds = 0;
+  uint64_t grants = 0;     // kGranted events captured (wait latencies)
+  double p50WaitMs = 0;
+  double p99WaitMs = 0;
+};
+
+// N threads hammering one striped word: increment-and-split in a tight
+// loop, so every operation re-acquires the write lock through the
+// contended path. Wait latencies come from the obs kGranted events.
+ContendedResult run_contended(int threads, uint64_t opsPerThread) {
+  runtime::GlobalRoot<HotCell> cell;
+  run_sbd([&] {
+    HotCell c = HotCell::alloc();
+    c.init_n(0);
+    cell.set(c);
+  });
+  const bool wasEnabled = obs::enabled();
+  obs::set_enabled(true);
+  (void)obs::drain();  // start from a clean ring
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  ContendedResult res;
+  {
+    std::vector<SbdThread> ts;
+    ts.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; t++) {
+      ts.emplace_back([&] {
+        ready.fetch_add(1);
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        auto& tc = sbd::context();
+        for (uint64_t i = 0; i < opsPerThread; i++) {
+          HotCell c = cell.get();
+          c.set_n(tc, c.n(tc) + 1);
+          // Yield while the write lock is held: on few-core hosts this
+          // is what makes lock ownership overlap scheduling quanta, so
+          // every other thread actually queues (otherwise each thread
+          // runs its whole slice uncontended and the wait subsystem is
+          // never exercised).
+          std::this_thread::yield();
+          split(tc);
+        }
+      });
+    }
+    for (auto& t : ts) t.start();
+    while (ready.load() != threads) std::this_thread::yield();
+    Stopwatch sw;
+    go.store(true, std::memory_order_release);
+    for (auto& t : ts) t.join();
+    res.seconds = sw.seconds();
+  }
+  run_sbd([&] {
+    if (cell.get().n() != static_cast<int64_t>(opsPerThread) * threads)
+      std::fprintf(stderr, "contended: BAD SUM %lld\n",
+                   static_cast<long long>(cell.get().n()));
+  });
+
+  std::vector<uint64_t> waits;
+  for (const obs::Event& e : obs::drain())
+    if (e.kind == obs::EventKind::kGranted) waits.push_back(e.durationNanos);
+  obs::set_enabled(wasEnabled);
+  res.grants = waits.size();
+  if (!waits.empty()) {
+    std::sort(waits.begin(), waits.end());
+    res.p50WaitMs = static_cast<double>(waits[waits.size() / 2]) / 1e6;
+    res.p99WaitMs =
+        static_cast<double>(waits[(waits.size() * 99) / 100]) / 1e6;
+  }
+  return res;
+}
 
 struct MicroResult {
   double baseline, checkNew, owned, acqRls;
@@ -200,6 +286,28 @@ int main(int argc, char** argv) {
       "(tens of %%), Acq&Rls costs multiples of the baseline; Versioned\n"
       "reads skip the lock word and land near Owned.\n");
 
+  // Contended-queue row (§3.2 wait subsystem): N threads hammering one
+  // striped word. Throughput measures the park/unpark round trip; the
+  // p99 wait latency comes from the obs kGranted events.
+  const int cThreads = static_cast<int>(opts.get_int("contended-threads", 16));
+  const auto cOps = static_cast<uint64_t>(opts.get_int("contended-ops", 500));
+  ContendedResult cr;
+  if (cThreads > 0) {
+    if (!set_lock_granularity(HotCell::klass(), LockGranularity::kStriped, 1)) {
+      std::fprintf(stderr, "cannot pin the contended class to striped:1\n");
+      return 1;
+    }
+    cr = run_contended(cThreads, cOps);
+    const double tput =
+        cr.seconds > 0 ? static_cast<double>(cOps) * cThreads / cr.seconds : 0;
+    std::printf(
+        "\n=== Contended queue: %d threads x %llu ops on one striped word ===\n"
+        "throughput %.0f ops/s, wait latency p50 %.3fms / p99 %.3fms "
+        "(%llu grants)\n",
+        cThreads, static_cast<unsigned long long>(cOps), tput, cr.p50WaitMs,
+        cr.p99WaitMs, static_cast<unsigned long long>(cr.grants));
+  }
+
   if (!jsonPath.empty()) {
     // Machine-readable results for CI perf-smoke trending: milliseconds
     // and throughput per effect x pattern cell.
@@ -223,7 +331,19 @@ int main(int argc, char** argv) {
       }
       std::fprintf(f, "}%s\n", effect == 4 ? "" : ",");
     }
-    std::fprintf(f, "  }\n}\n");
+    std::fprintf(f, "  }%s\n", cThreads > 0 ? "," : "");
+    if (cThreads > 0) {
+      const double tput =
+          cr.seconds > 0 ? static_cast<double>(cOps) * cThreads / cr.seconds : 0;
+      std::fprintf(f,
+                   "  \"contended\": {\"threads\": %d, \"ops_per_thread\": %llu, "
+                   "\"seconds\": %.4f, \"throughput_ops_per_sec\": %.0f, "
+                   "\"grants\": %llu, \"p50_wait_ms\": %.3f, \"p99_wait_ms\": %.3f}\n",
+                   cThreads, static_cast<unsigned long long>(cOps), cr.seconds,
+                   tput, static_cast<unsigned long long>(cr.grants), cr.p50WaitMs,
+                   cr.p99WaitMs);
+    }
+    std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", jsonPath.c_str());
   }
