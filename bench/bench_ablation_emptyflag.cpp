@@ -9,6 +9,7 @@
 // read-locks the very field every put/take write-locks: a guaranteed
 // conflict per operation.
 #include <cstdio>
+#include <thread>
 
 #include "api/sbd.h"
 #include "common/options.h"

@@ -24,8 +24,8 @@ namespace sbd::fault {
 enum class Site : int {
   kSplitAbort = 0,   // abort instead of committing at a split (core/transaction.cpp)
   kLockCas,          // fail one lock-word CAS in the fast path (core/transaction.cpp)
-  kQueueEnqueue,     // delay before enqueuing a waiter (core/queue.cpp)
-  kQueueWakeup,      // delay before waking a wait queue (core/queue.cpp)
+  kQueueEnqueue,     // delay before publishing a waiter node (ParkingLot::publish)
+  kQueueWakeup,      // delay before a release-side grant pass / id wake (ParkingLot::unpark_*)
   kGcSafepoint,      // force a stop-the-world GC at an allocation safepoint (runtime/heap.cpp)
   kFileError,        // transient (EINTR-style) I/O error, retried in tio/file.cpp
   kFileShortWrite,   // short write at file commit, continued in tio/file.cpp

@@ -16,10 +16,10 @@ namespace core {
 
 // The lock structure is one 64-bit word (the largest CAS the paper's
 // platform supports): 56 owner bits, the writer flag W, the upgrader
-// bit U, and a 6-bit wait-queue id (paper §4.2 / Fig. 4b).
+// bit U, and a has-waiters bit (paper §4.2 / Fig. 4b, with the 6-bit
+// queue-id field of the original design collapsed to one bit — waiters
+// live in the parking lot's stripe table, keyed by word address).
 inline constexpr int kMaxTxns = 56;          // bit-set size -> max concurrent txns
-inline constexpr int kQueueIdBits = 6;       // 6-bit queue id
-inline constexpr int kNumQueues = 63;        // ids 1..63; 0 means "no queue"
 
 using LockWord = uint64_t;
 

@@ -1,12 +1,16 @@
 // The transaction-id pool: at most kMaxTxns (56) transactions run
-// concurrently, one bit each in every lock word. If no id is free a
-// starting transaction blocks until one is released (paper §3.3 — safe
-// because sections never nest and waiting threads release their id).
+// concurrently, one bit each in every lock word. The free set is split
+// into shards claimed by lock-free CAS (each thread starts at a hashed
+// home shard, so uncontended acquire/release never meet); when every
+// shard is empty the acquirer parks in the parking lot (core/queue.h)
+// on the pool's sentinel key, and release wakes exactly ONE waiter —
+// >56 threads queue cheaply instead of convoying on a central mutex +
+// condvar (paper §3.3 — safe because sections never nest and waiting
+// threads hold no locks).
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "core/fwd.h"
@@ -42,12 +46,18 @@ class TxnIdPool {
   std::string diagnose() const;
 
  private:
-  int pop_free_locked();
+  // 4 shards x 14 ids: few enough that an exhausted-pool sweep is
+  // cheap, enough that disjoint threads rarely CAS the same word.
+  static constexpr int kShards = 4;
+  static constexpr int kIdsPerShard = kMaxTxns / kShards;
+  static_assert(kShards * kIdsPerShard == kMaxTxns, "ids must split evenly");
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  uint64_t freeBits_;   // bit i set <=> id i free
-  int waiters_ = 0;     // threads blocked waiting for an id
+  std::atomic<uint64_t> shards_[kShards];
+  std::atomic<int> waiters_{0};
+  // Parking-lot key for over-subscribed acquirers. Only its ADDRESS is
+  // used (bucket hash + node filter); it is never read or CASed as a
+  // lock word.
+  LockWord parkSentinel_ = 0;
 };
 
 }  // namespace sbd::core

@@ -4,7 +4,15 @@
 //   bits  0..55  owner bit-set: bit i set <=> transaction id i holds the lock
 //   bit   56     W: the members hold a write lock (then exactly one bit is set)
 //   bit   57     U: an upgrading reader is present (early dueling-upgrade detection)
-//   bits 58..63  queue id: 0 = no waiters, otherwise index into the queue pool
+//   bit   58     has-waiters: at least one waiter node is (or is about to
+//                be) published in the parking lot for this word
+//   bits 59..63  unused, always zero
+//
+// The has-waiters bit replaced the paper's 6-bit queue-id field when the
+// 63-queue global pool became the parking lot (core/queue.h): waiters
+// are found by hashing the word's ADDRESS into the lot's stripe table,
+// so the word itself only needs one bit of "someone is waiting" — the
+// fairness barrier that stops newcomers from barging past the queue.
 //
 // All functions are pure and constexpr so both the runtime fast path and
 // the tests can reason about words symbolically.
@@ -17,8 +25,17 @@ namespace sbd::core {
 inline constexpr LockWord kMemberMask = (1ULL << kMaxTxns) - 1;  // bits 0..55
 inline constexpr LockWord kWriterBit = 1ULL << 56;
 inline constexpr LockWord kUpgraderBit = 1ULL << 57;
-inline constexpr int kQueueShift = 58;
-inline constexpr LockWord kQueueMask = 0x3FULL << kQueueShift;
+inline constexpr int kWaitersShift = 58;
+inline constexpr LockWord kWaitersBit = 1ULL << kWaitersShift;
+
+// The parking lot (core/queue.h) assumes exactly this layout: the
+// waiters bit sits directly above U, overlaps nothing, and leaves the
+// top five bits clear for future use.
+static_assert(kWaitersShift == kMaxTxns + 2, "waiters bit must sit directly above W and U");
+static_assert((kWaitersBit & (kMemberMask | kWriterBit | kUpgraderBit)) == 0,
+              "waiters bit overlaps the member/W/U fields");
+static_assert((kMemberMask | kWriterBit | kUpgraderBit | kWaitersBit) < (1ULL << 59),
+              "bits 59..63 must stay unused");
 
 // The per-transaction mask: one bit in the owner bit-set.
 constexpr LockWord txn_mask(int txnId) { return 1ULL << txnId; }
@@ -26,7 +43,7 @@ constexpr LockWord txn_mask(int txnId) { return 1ULL << txnId; }
 constexpr LockWord members(LockWord w) { return w & kMemberMask; }
 constexpr bool has_writer(LockWord w) { return (w & kWriterBit) != 0; }
 constexpr bool has_upgrader(LockWord w) { return (w & kUpgraderBit) != 0; }
-constexpr int queue_id(LockWord w) { return static_cast<int>((w & kQueueMask) >> kQueueShift); }
+constexpr bool has_waiters(LockWord w) { return (w & kWaitersBit) != 0; }
 constexpr bool is_member(LockWord w, LockWord mask) { return (w & mask) != 0; }
 constexpr bool is_free(LockWord w) { return members(w) == 0; }
 constexpr bool sole_member(LockWord w, LockWord mask) { return members(w) == mask; }
@@ -37,23 +54,21 @@ constexpr LockWord with_writer(LockWord w) { return w | kWriterBit; }
 constexpr LockWord without_writer(LockWord w) { return w & ~kWriterBit; }
 constexpr LockWord with_upgrader(LockWord w) { return w | kUpgraderBit; }
 constexpr LockWord without_upgrader(LockWord w) { return w & ~kUpgraderBit; }
-constexpr LockWord with_queue(LockWord w, int qid) {
-  return (w & ~kQueueMask) | (static_cast<LockWord>(qid) << kQueueShift);
-}
-constexpr LockWord without_queue(LockWord w) { return w & ~kQueueMask; }
+constexpr LockWord with_waiters(LockWord w) { return w | kWaitersBit; }
+constexpr LockWord without_waiters(LockWord w) { return w & ~kWaitersBit; }
 
-// A transaction may take a read lock directly (no queue round trip) when
-// nobody writes, no upgrader is pending, and no queue is attached
-// (fairness: once waiters exist, newcomers must line up, paper §3.2).
+// A transaction may take a read lock directly (no parking-lot round
+// trip) when nobody writes, no upgrader is pending, and no waiters are
+// parked (fairness: once waiters exist, newcomers must line up, §3.2).
 constexpr bool read_grabbable(LockWord w) {
-  return !has_writer(w) && !has_upgrader(w) && queue_id(w) == 0;
+  return !has_writer(w) && !has_upgrader(w) && !has_waiters(w);
 }
 
 // A transaction may take a write lock directly when the lock is free and
-// no queue is attached, or when it is the sole (reading) member — the
+// nobody waits, or when it is the sole (reading) member — the
 // sole-reader upgrade (no other reader can race it in).
 constexpr bool write_grabbable(LockWord w, LockWord mask) {
-  if (queue_id(w) != 0) return false;
+  if (has_waiters(w)) return false;
   if (is_free(w)) return !has_upgrader(w);
   return sole_member(w, mask) && !has_writer(w);
 }

@@ -12,6 +12,7 @@
 
 #include "common/timing.h"
 #include "core/degrade.h"
+#include "core/queue.h"
 #include "core/stats.h"
 #include "core/transaction.h"
 #include "core/watchdog.h"
@@ -605,6 +606,11 @@ std::string metrics_json() {
      << ", \"cycles\": " << lpc.cycles << ", \"replans\": " << lpc.replans
      << ", \"vetoed\": " << lpc.vetoed << ", \"stops\": " << lpc.stops
      << ", \"wedged\": " << lpc.wedged;
+  os << "},\n  \"parking\": {";
+  const core::ParkingLot::Counters pk = core::ParkingLot::counters();
+  os << "\"parked\": " << pk.parked << ", \"spun_granted\": " << pk.spunGranted
+     << ", \"futex_wakes\": " << pk.futexWakes << ", \"handoffs\": " << pk.handoffs
+     << ", \"id_wakes\": " << pk.idWakes;
   os << "},\n  \"watchdog\": {";
   os << "\"stalls\": " << core::Watchdog::stalls_detected()
      << ", \"victims\": " << core::Watchdog::victims_aborted();

@@ -106,14 +106,15 @@ bool TxnManager::request_abort(int victimId, uint64_t expectedSeq) {
   if (!t || t->start_seq() != expectedSeq) return false;
   if (!t->is_waiting()) return false;  // only waiting victims can be aborted remotely
   t->request_abort();
-  // Notify WITHOUT the victim's queue mutex. The caller may already
-  // hold a queue mutex (the deadlock resolver runs inside its own wait
-  // loop), so locking q->mu here can self-deadlock when the victim
-  // waits in the same queue, or ABBA against a concurrent resolver.
-  // A lock-free notify is sound: victims wait with a 200us timed wait
-  // and re-check abort_requested() on every wakeup, so a racing (lost)
-  // notification costs at most one timeout tick.
-  if (WaitQueue* q = t->waiting_in()) q->cv.notify_all();
+  // Kick the victim's parked node so it notices the flag now instead of
+  // at its next timed-park tick. Callers hold no bucket lock here (the
+  // deadlock resolver probes and resolves in separate critical
+  // sections), so taking the victim's bucket lock cannot self-deadlock.
+  // The word pointer is a pure hash key — unpark_txn never dereferences
+  // it — so a victim that raced out of the wait costs nothing. A lost
+  // wake costs at most one timeout tick: victims always park timed and
+  // re-check abort_requested() on every probe.
+  if (const LockWord* w = t->waiting_on()) ParkingLot::instance().unpark_txn(w, victimId);
   return true;
 }
 
@@ -395,19 +396,18 @@ void abort_and_restart(ThreadContext& tc) {
 namespace {
 
 // Computes and publishes this transaction's Dreadlocks digest while it
-// waits on `q` for `word`; resolves any detected cycle by aborting the
-// youngest waiting member. Returns true if the caller itself must abort.
-// Pre: q.mu held by caller.
-bool update_digest_and_resolve(ThreadContext& tc, WaitQueue& q, LockWord w) {
+// waits for `word`; resolves any detected cycle by aborting the
+// youngest waiting member. `direct` is the blocker set gathered by the
+// grant probe (word members + same-word waiters ahead of us) inside the
+// bucket critical section; this runs OUTSIDE any bucket lock, so the
+// resolver's wake of the victim (unpark_txn takes the victim's bucket
+// lock) cannot deadlock. Returns true if the caller itself must abort.
+bool update_digest_and_resolve(ThreadContext& tc, uint64_t direct,
+                               runtime::ManagedObject* obj, LockWord* word) {
   auto& mgr = TxnManager::instance();
   const int myId = tc.txn.id();
   const LockWord myBit = tc.txn.mask();
 
-  uint64_t direct = members(w) & ~myBit;
-  for (const Waiter& wt : q.waiters) {
-    if (wt.txnId == myId) break;  // only waiters ahead of us block us
-    direct |= 1ULL << wt.txnId;
-  }
   uint64_t digest = direct;
   uint64_t scan = direct;
   while (scan) {
@@ -443,37 +443,26 @@ bool update_digest_and_resolve(ThreadContext& tc, WaitQueue& q, LockWord w) {
   // Recorded AFTER victim selection, so the event carries the chosen
   // victim and the contended lock (the DebugEvent::other contract) —
   // the §6 workflow needs to know who lost, not just that a cycle
-  // happened. q's binding is stable here: we hold q.mu and are enqueued.
-  // The victim's epoch (start_seq) rides in `seq` so the offline oracle
-  // can verify the victim actually participated (it must have a prior
-  // kBlocked with the same id + epoch).
-  obs::record_lock_event(obs::EventKind::kDeadlock, myId, victim, q.boundObj,
-                         q.boundWord, false, 0, tc.txn.start_seq(), victimSeq);
+  // happened. obj is stable here: our parked node pins it as a GC root
+  // while we are enqueued. The victim's epoch (start_seq) rides in
+  // `seq` so the offline oracle can verify the victim actually
+  // participated (it must have a prior kBlocked with the same id +
+  // epoch).
+  obs::record_lock_event(obs::EventKind::kDeadlock, myId, victim, obj, word,
+                         false, 0, tc.txn.start_seq(), victimSeq);
   // Deadlock involvement disqualifies the class from the adaptive
   // controller's versioned (invisible-reader) auto-selection.
-  runtime::lockplan::note_deadlock(q.boundObj);
+  runtime::lockplan::note_deadlock(obj);
   if (victim == myId) return true;
   mgr.request_abort(victim, victimSeq);
   return false;
 }
 
-// Detaches q from its lock word if it has no waiters. Pre: q.mu held.
-void maybe_detach(WaitQueue& q, int qid, std::atomic<LockWord>* aw) {
-  if (!q.waiters.empty() || q.detached) return;
-  q.detached = true;
-  q.boundWord = nullptr;
-  q.boundObj = nullptr;
-  LockWord w = aw->load(std::memory_order_acquire);
-  while (queue_id(w) == qid) {
-    if (aw->compare_exchange_weak(w, without_queue(w), std::memory_order_acq_rel)) break;
-  }
-  TxnManager::instance().queue_pool().free(qid);
-}
-
-// The contended path: line up in the lock's fair queue and wait until
-// grantable. `upgrader` implies the caller already holds a read lock and
-// set the U bit. Returns with the lock held (recorded by the caller for
-// upgrades, here otherwise) or aborts the transaction.
+// The contended path: publish a waiter node in the parking lot and wait
+// (local spin, then timed futex park) until the lock is handed off or
+// self-grantable. `upgrader` implies the caller already holds a read
+// lock and set the U bit. Returns with the lock held (recorded by the
+// caller for upgrades, here otherwise) or aborts the transaction.
 void slow_acquire(ThreadContext& tc, runtime::ManagedObject* obj, LockWord* word,
                   bool wantWrite, bool upgrader) {
   auto& mgr = TxnManager::instance();
@@ -510,29 +499,28 @@ void slow_acquire(ThreadContext& tc, runtime::ManagedObject* obj, LockWord* word
     }
   };
 
-  for (;;) {  // (re)attach to the word's queue
+  // Direct attempts first: the lock may have freed between the fast
+  // path and here, and an enqueue round trip for a now-grabbable word
+  // would cost two bucket-lock sections for nothing.
+  for (;;) {
     LockWord w = aw->load(std::memory_order_acquire);
-    // The lock may have become free in the meantime.
     if (upgrader) {
-      if (sole_member(w, myBit) && !has_writer(w)) {
-        LockWord target = without_upgrader(with_writer(w));
-        if (aw->compare_exchange_weak(w, target, std::memory_order_acq_rel)) {
-          finish_blocked_accounting(/*granted=*/true);
-          return;
-        }
-        tc.stats.casFailures++;
-        continue;
+      if (!(sole_member(w, myBit) && !has_writer(w))) break;
+      LockWord target = without_upgrader(with_writer(w));
+      if (aw->compare_exchange_weak(w, target, std::memory_order_acq_rel)) {
+        finish_blocked_accounting(/*granted=*/true);
+        return;
       }
-    } else if (!wantWrite && read_grabbable(w)) {
+    } else if (!wantWrite) {
+      if (!read_grabbable(w)) break;
       if (aw->compare_exchange_weak(w, with_member(w, myBit), std::memory_order_acq_rel)) {
         tc.txn.record_lock(obj, word, false);
         tc.stats.acqRls++;
         finish_blocked_accounting(/*granted=*/true);
         return;
       }
-      tc.stats.casFailures++;
-      continue;
-    } else if (wantWrite && is_free(w) && write_grabbable(w, myBit)) {
+    } else {
+      if (!(is_free(w) && write_grabbable(w, myBit))) break;
       if (aw->compare_exchange_weak(w, with_writer(with_member(w, myBit)),
                                     std::memory_order_acq_rel)) {
         tc.txn.record_lock(obj, word, true);
@@ -540,121 +528,90 @@ void slow_acquire(ThreadContext& tc, runtime::ManagedObject* obj, LockWord* word
         finish_blocked_accounting(/*granted=*/true);
         return;
       }
-      tc.stats.casFailures++;
-      continue;
     }
+    tc.stats.casFailures++;
+  }
 
-    int qid = queue_id(w);
-    if (qid == 0) {
-      qid = mgr.queue_pool().alloc(word, obj);
-      bool attached = false;
-      LockWord cur = aw->load(std::memory_order_acquire);
-      while (queue_id(cur) == 0) {
-        if (aw->compare_exchange_weak(cur, with_queue(cur, qid),
-                                      std::memory_order_acq_rel)) {
-          attached = true;
-          break;
-        }
-      }
-      if (!attached) {
-        WaitQueue& q = mgr.queue_pool().get(qid);
-        std::lock_guard<std::mutex> lk(q.mu);
-        q.detached = true;
-        q.boundWord = nullptr;
-        q.boundObj = nullptr;
-        mgr.queue_pool().free(qid);
-        continue;  // someone else attached a queue; join theirs
+  // Enqueue: publish the node, then raise the has-waiters bit, then
+  // probe. EXACTLY this order — the no-lost-wakeup argument
+  // (docs/SEMANTICS.md) needs the node visible before the bit and the
+  // probe's word re-read after the bit.
+  auto& lot = ParkingLot::instance();
+  WaitNode node;
+  node.word = word;
+  node.boundObj = obj;
+  node.txnId = myId;
+  node.mask = myBit;
+  node.wantWrite = wantWrite || upgrader;
+  node.upgrader = upgrader;
+  lot.publish(node);
+  tc.waitingObj = obj;
+  tc.txn.set_waiting(word);
+  {
+    LockWord w = aw->load(std::memory_order_acquire);
+    while (!has_waiters(w)) {
+      if (aw->compare_exchange_weak(w, with_waiters(w), std::memory_order_acq_rel))
+        break;
+    }
+  }
+
+  auto leave_waiting = [&] {
+    // Clear the published digest: a stale digest would make other
+    // transactions that later wait on us see phantom cycles.
+    mgr.digest_slot(myId).store(0, std::memory_order_release);
+    tc.txn.set_waiting(nullptr);
+    tc.waitingObj = nullptr;
+  };
+
+  // Leaves the wait to abort. cancel() can lose the race against a
+  // concurrent handoff — then the lock is OURS and must be recorded so
+  // the abort's release_all frees it (and the trace shows the grant the
+  // handoff already performed).
+  auto abort_from_wait = [&]() {
+    const bool won = lot.cancel(tc, node) == CancelResult::kWasGranted;
+    if (won) {
+      if (!upgrader) {
+        tc.txn.record_lock(obj, word, wantWrite);
+        tc.stats.acqRls++;
+      } else if (auto* rec = tc.txn.lockRecords_.find_last_if(
+                     [&](const LockRecord& r) { return r.word == word; })) {
+        rec->write = true;       // the handoff completed the upgrade:
+        rec->setUpgrader = false;  // W is ours, U is already cleared
       }
     }
+    leave_waiting();
+    finish_blocked_accounting(/*granted=*/won);
+    abort_and_restart(tc);
+  };
 
-    WaitQueue& q = mgr.queue_pool().get(qid);
-    std::unique_lock<std::mutex> lk(q.mu);
-    if (q.detached || q.boundWord != word ||
-        queue_id(aw->load(std::memory_order_acquire)) != qid)
-      continue;  // queue was detached/rebound under us; retry
-
-    Waiter me{myId, wantWrite || upgrader, upgrader};
-    q.enqueue(me);
-    tc.waitingQueue = &q;
-    tc.waitingObj = obj;
-    tc.txn.set_waiting(&q);
-
-    auto leave_queue = [&] {
-      q.remove(myId);
-      // Clear the published digest: a stale digest would make other
-      // transactions that later wait on us see phantom cycles.
-      mgr.digest_slot(myId).store(0, std::memory_order_release);
-      tc.txn.set_waiting(nullptr);
-      tc.waitingQueue = nullptr;
-      tc.waitingObj = nullptr;
-      if (q.waiters.empty())
-        maybe_detach(q, qid, aw);
-      else
-        q.notify_waiters();
-    };
-
-    for (;;) {  // wait loop, q.mu held
-      if (tc.txn.abort_requested()) {
-        leave_queue();
-        lk.unlock();
-        finish_blocked_accounting(/*granted=*/false);
-        abort_and_restart(tc);
+  // Timed parks double from 200us to ~3.2ms: each tick re-publishes the
+  // Dreadlocks digest (stale digests delay cycle detection) and
+  // re-checks the abort flag, but direct handoff means ticks are the
+  // backstop, not the grant path.
+  uint64_t parkNanos = 200'000;
+  for (;;) {
+    const GrantProbe probe = lot.try_grant_self(tc, node);
+    if (probe.granted) {
+      leave_waiting();
+      if (!upgrader) {
+        tc.txn.record_lock(obj, word, wantWrite);
+        tc.stats.acqRls++;
       }
-      LockWord w2 = aw->load(std::memory_order_acquire);
-      const int pos = q.position_of(myId);
-      SBD_DCHECK(pos >= 0);
-      bool granted = false;
-      bool attempted = false;
-      if (upgrader) {
-        if (sole_member(w2, myBit) && !has_writer(w2)) {
-          attempted = true;
-          LockWord target = without_upgrader(with_writer(w2));
-          granted = aw->compare_exchange_strong(w2, target, std::memory_order_acq_rel);
-        }
-      } else if (wantWrite) {
-        if (pos == 0 && is_free(w2) && !has_upgrader(w2)) {
-          attempted = true;
-          LockWord target = with_writer(with_member(w2, myBit));
-          granted = aw->compare_exchange_strong(w2, target, std::memory_order_acq_rel);
-        }
-      } else {
-        if (q.only_readers_ahead(pos) && !has_writer(w2) && !has_upgrader(w2)) {
-          attempted = true;
-          LockWord target = with_member(w2, myBit);
-          granted = aw->compare_exchange_strong(w2, target, std::memory_order_acq_rel);
-        }
-      }
-      if (granted) {
-        leave_queue();
-        lk.unlock();
-        if (!upgrader) {
-          tc.txn.record_lock(obj, word, wantWrite);
-          tc.stats.acqRls++;
-        }
-        finish_blocked_accounting(/*granted=*/true);
-        return;
-      }
-      if (attempted) tc.stats.casFailures++;
-      if (update_digest_and_resolve(tc, q, w2)) {
-        leave_queue();
-        lk.unlock();
-        finish_blocked_accounting(/*granted=*/false);
-        abort_and_restart(tc);
-      }
-      {
-        // The SafeScope destructor blocks for the whole stop-the-world
-        // when a GC is in flight, and the collector's root scan takes
-        // every queue mutex (QueuePool::for_each_bound). wait_for
-        // reacquires q.mu on wakeup, so the mutex must be dropped
-        // before the scope closes or the collector deadlocks against
-        // us. Unlocking is safe: we are still enqueued, and a queue
-        // with waiters can neither detach nor rebind.
-        Safepoint::SafeScope safe(tc);
-        q.cv.wait_for(lk, std::chrono::microseconds(200));
-        lk.unlock();
-      }
-      lk.lock();  // loop re-reads all queue state under the lock
+      finish_blocked_accounting(/*granted=*/true);
+      return;
     }
+    if (tc.txn.abort_requested()) abort_from_wait();
+    if (update_digest_and_resolve(tc, probe.blockers, obj, word)) abort_from_wait();
+    if (tc.txn.abort_requested()) abort_from_wait();
+    {
+      // The SafeScope covers the park: the collector may scan our stack
+      // (the node and boundObj live on it) while we sleep. No bucket
+      // lock is held here, so the GC's own bucket sweep
+      // (ParkingLot::for_each_bound) cannot deadlock against us.
+      Safepoint::SafeScope safe(tc);
+      lot.park(node, parkNanos);
+    }
+    if (parkNanos < 3'200'000) parkNanos *= 2;
   }
 }
 
@@ -772,13 +729,17 @@ void LockEngine::acquire_write(ThreadContext& tc, runtime::ManagedObject* obj,
 void LockEngine::release_all(ThreadContext& tc, bool committed) {
   const LockWord myBit = tc.txn.mask();
   const bool fullTrace = obs::full_trace();
-  // Batched wake: clear every word first, remembering which queues saw
-  // a state change, then notify each distinct queue once. Queue ids are
-  // 6 bits (1..63), so a uint64_t bitmask dedups them. A waiter that
-  // needs several of our locks wakes once with all of them already
-  // free instead of once per word; a briefly-missed transition costs at
-  // most one 200us timed-wait tick (waiters always re-check).
-  uint64_t wakeMask = 0;
+  // Batched wake: clear every word first, remembering which words had
+  // the has-waiters bit set, then run one grant pass per distinct word.
+  // A waiter that needs several of our locks is handed its lock once
+  // all of them are free instead of probing once per word. The list is
+  // a fixed stack array: a transaction rarely holds more than a handful
+  // of contended words; on overflow we grant inline (correct, just one
+  // extra bucket-lock section mid-release).
+  constexpr size_t kMaxWake = 64;
+  const LockWord* wakeWords[kMaxWake];
+  size_t numWake = 0;
+  auto& lot = ParkingLot::instance();
   tc.txn.lockRecords_.for_each_reverse([&](LockRecord& rec) {
     // Full trace: the release is recorded BEFORE the word is cleared,
     // so any conflicting acquire (recorded after its CAS) draws a later
@@ -806,17 +767,18 @@ void LockEngine::release_all(ThreadContext& tc, bool committed) {
       if (sole_member(w, myBit)) target = without_writer(target);
       if (rec.setUpgrader) target = without_upgrader(target);
     } while (!aw->compare_exchange_weak(w, target, std::memory_order_acq_rel));
-    const int qid = queue_id(target);
-    if (qid != 0) wakeMask |= 1ULL << qid;
+    if (has_waiters(target)) {
+      bool seen = false;
+      for (size_t i = 0; i < numWake; i++)
+        if (wakeWords[i] == rec.word) { seen = true; break; }
+      if (seen) return;
+      if (numWake < kMaxWake)
+        wakeWords[numWake++] = rec.word;
+      else
+        lot.unpark_word(tc, rec.word);
+    }
   });
-  auto& pool = TxnManager::instance().queue_pool();
-  while (wakeMask) {
-    const int qid = std::countr_zero(wakeMask);
-    wakeMask &= wakeMask - 1;
-    WaitQueue& q = pool.get(qid);
-    std::lock_guard<std::mutex> lk(q.mu);
-    q.notify_waiters();
-  }
+  for (size_t i = 0; i < numWake; i++) lot.unpark_word(tc, wakeWords[i]);
 }
 
 // ---------------------------------------------------------------------------

@@ -98,9 +98,9 @@ class Transaction {
   void defer(std::function<void()> action) { deferred_.push_back(std::move(action)); }
 
   // Abort signalling: set by the deadlock resolver on a *waiting*
-  // victim; the victim notices in its queue-wait loop. Relaxed is
-  // enough: the flag is advisory (the victim re-checks under the queue
-  // mutex each wakeup tick) and carries no data dependency.
+  // victim; the victim notices in its park loop. Relaxed is enough: the
+  // flag is advisory (the victim re-checks on every grant probe / park
+  // tick) and carries no data dependency.
   bool abort_requested() const { return abortRequested_.load(std::memory_order_relaxed); }
   void request_abort() { abortRequested_.store(true, std::memory_order_relaxed); }
   void clear_abort_request() { abortRequested_.store(false, std::memory_order_relaxed); }
@@ -110,13 +110,15 @@ class Transaction {
   bool inevitable() const { return inevitable_.load(std::memory_order_acquire); }
   void set_inevitable(bool v) { inevitable_.store(v, std::memory_order_release); }
 
-  // Published while the transaction blocks in a wait queue, so the
-  // deadlock resolver can pick only waiting victims and wake them.
+  // Published while the transaction is parked on a lock word, so the
+  // deadlock resolver can pick only waiting victims and wake them
+  // (ParkingLot::unpark_txn uses the word as the bucket key). The
+  // pointer is a key, not a dereference target, for remote readers.
   bool is_waiting() const { return waiting_.load(std::memory_order_acquire); }
-  WaitQueue* waiting_in() const { return waitingIn_.load(std::memory_order_acquire); }
-  void set_waiting(WaitQueue* q) {
-    waitingIn_.store(q, std::memory_order_release);
-    waiting_.store(q != nullptr, std::memory_order_release);
+  const LockWord* waiting_on() const { return waitingOn_.load(std::memory_order_acquire); }
+  void set_waiting(const LockWord* w) {
+    waitingOn_.store(w, std::memory_order_release);
+    waiting_.store(w != nullptr, std::memory_order_release);
   }
 
   size_t rw_set_bytes() const {
@@ -142,7 +144,7 @@ class Transaction {
   std::atomic<bool> abortRequested_{false};
   std::atomic<bool> inevitable_{false};
   std::atomic<bool> waiting_{false};
-  std::atomic<WaitQueue*> waitingIn_{nullptr};
+  std::atomic<const LockWord*> waitingOn_{nullptr};
 
   // Segmented arenas, not vectors: entries never move (the upgrade path
   // and the GC hold entry pointers across pushes) and clear() keeps the
@@ -216,8 +218,8 @@ struct ThreadContext {
   uint64_t sectionStartNanos = 0;
   uint64_t sectionBlockedNanos = 0;
 
-  // Where this thread currently waits (deadlock detection + GC roots).
-  WaitQueue* waitingQueue = nullptr;
+  // The instance this thread's parked lock wait pins (GC root; the
+  // word pointer itself lives in txn.waiting_on()).
   runtime::ManagedObject* waitingObj = nullptr;
 
   bool inSbd = false;  // between enter_thread and leave_thread
@@ -253,7 +255,6 @@ class TxnManager {
   static TxnManager& instance();
 
   TxnIdPool& id_pool() { return idPool_; }
-  QueuePool& queue_pool() { return queuePool_; }
 
   uint64_t next_seq() { return seq_.fetch_add(1, std::memory_order_relaxed); }
 
@@ -301,7 +302,6 @@ class TxnManager {
   TxnManager() = default;
 
   TxnIdPool idPool_;
-  QueuePool queuePool_;
   std::atomic<uint64_t> seq_{1};
   std::atomic<Transaction*> byId_[kMaxTxns] = {};
   std::atomic<uint64_t> digests_[kMaxTxns] = {};

@@ -42,8 +42,10 @@ struct StallRec {
 // Everything the act phase needs, copied out of the ThreadContext while
 // the registry lock is held. No ThreadContext pointer survives the scan:
 // the thread may unregister (and free its context) the moment the lock
-// drops. The WaitQueue pointer is safe — queues live in a static pool —
-// but its binding is revalidated under q->mu before use.
+// drops. The lock-word pointer is used only as a parking-lot hash key
+// unless the waiter's node (which pins boundObj on the waiter's stack)
+// is still linked — ParkingLot::with_waiter revalidates under the
+// bucket lock before we dereference anything.
 struct WaitSnap {
   uint64_t uid;
   uint64_t since;  // episode start (nonzero)
@@ -51,7 +53,7 @@ struct WaitSnap {
   int txnId;
   uint64_t startSeq;
   uint64_t consecAborts;
-  WaitQueue* q;
+  const LockWord* word;
 };
 
 // Examines one stalled wait. Runs WITHOUT the thread-registry lock; the
@@ -71,13 +73,18 @@ void check_wait(const WaitSnap& s, uint64_t now, std::map<uint64_t, StallRec>& r
     const void* lockAddr = nullptr;
     size_t queueDepth = 0;
     obs::LockSym sym{};
-    if (!s.idPool && s.q) {
-      // Symbolize under q->mu: the binding (boundObj, boundWord) is
-      // stable only while the queue mutex pins it.
-      std::lock_guard<std::mutex> lk(s.q->mu);
-      lockAddr = s.q->boundWord;
-      queueDepth = s.q->waiters.size();
-      sym = obs::symbolize(s.q->boundObj, s.q->boundWord);
+    if (!s.idPool && s.word) {
+      // Symbolize under the parking-lot bucket lock: the waiter's node
+      // (and the boundObj it pins) is stable only while the bucket
+      // mutex holds it linked. If the waiter was granted or cancelled
+      // since the scan, with_waiter finds nothing and we report the
+      // bare address.
+      lockAddr = s.word;
+      ParkingLot::instance().with_waiter(
+          s.word, s.txnId, [&](const WaitNode& n, size_t depth) {
+            queueDepth = depth;
+            sym = obs::symbolize(n.boundObj, s.word);
+          });
     }
     obs::record(s.idPool ? obs::EventKind::kIdPoolStall
                          : obs::EventKind::kWatchdogStall,
@@ -157,11 +164,11 @@ void run() {
     std::set<uint64_t> live;
     snaps.clear();
     // Scan phase: the registry lock is held, so ONLY lock-free reads are
-    // allowed here. In particular q->mu must not be taken: a worker can
-    // hold its queue mutex while it waits out a stop-the-world
-    // (SafeScope destructor), the GC's root scan needs the registry
-    // lock, and blocking on q->mu from inside the registry would close
-    // that chain into a three-party deadlock.
+    // allowed here. In particular no parking-lot bucket mutex may be
+    // taken: a worker can wait out a stop-the-world (SafeScope) at any
+    // point, the GC's root scan needs the registry lock AND every
+    // bucket lock, and blocking on a bucket from inside the registry
+    // would close that chain into a three-party deadlock.
     TxnManager::instance().for_each_thread([&](ThreadContext* tc) {
       live.insert(tc->uid);
       const uint64_t ls = tc->lockWaitSinceNanos.load(std::memory_order_acquire);
@@ -169,11 +176,11 @@ void run() {
       if (ls != 0)
         snaps.push_back({tc->uid, ls, /*idPool=*/false, tc->txn.id_, tc->txn.startSeq_,
                          tc->consecutiveAborts.load(std::memory_order_relaxed),
-                         tc->txn.waiting_in()});
+                         tc->txn.waiting_on()});
       if (is != 0)
         snaps.push_back({tc->uid, is, /*idPool=*/true, -1, 0, 0, nullptr});
     });
-    // Act phase: registry lock released; blocking on q->mu is now safe.
+    // Act phase: registry lock released; bucket locks are now safe.
     for (const WaitSnap& s : snaps)
       check_wait(s, now, s.idPool ? idRecs : lockRecs);
     // Prune records of threads that have exited.

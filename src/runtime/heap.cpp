@@ -7,6 +7,7 @@
 #include "common/timing.h"
 #include "core/fault.h"
 #include "core/obs.h"
+#include "core/queue.h"
 #include "core/stats.h"
 #include "core/transaction.h"
 
@@ -391,8 +392,12 @@ void Heap::mark_from_roots() {
     if (t->waitingObj) mark_object(t->waitingObj);
   });
 
-  // 3. Wait-queue bindings.
-  mgr.queue_pool().for_each_bound([&](runtime::ManagedObject* o) { mark_object(o); });
+  // 3. Parking-lot waiter bindings: every parked node pins the object
+  // whose lock word it waits on (nodes live on waiter stacks, but the
+  // boundObj reference must keep the object — and its lock word — alive
+  // independently of whether the waiter's own stack scan finds it).
+  core::ParkingLot::instance().for_each_bound(
+      [&](runtime::ManagedObject* o) { mark_object(o); });
 
   // Drain.
   while (!markStack_.empty()) {

@@ -1,5 +1,7 @@
 #include "runtime/sampler.h"
 
+#include <thread>
+
 #include "common/check.h"
 #include "core/stats.h"
 #include "core/transaction.h"

@@ -6,11 +6,11 @@ namespace sbd::core {
 namespace {
 
 TEST(LockWord, LayoutConstants) {
-  // 56 owner bits + W + U + 6 queue bits = 64.
+  // 56 owner bits + W + U + has-waiters; bits 59..63 stay zero.
   EXPECT_EQ(kMemberMask, 0x00FFFFFFFFFFFFFFULL);
   EXPECT_EQ(kWriterBit, 1ULL << 56);
   EXPECT_EQ(kUpgraderBit, 1ULL << 57);
-  EXPECT_EQ(kQueueMask, 0xFC00000000000000ULL);
+  EXPECT_EQ(kWaitersBit, 1ULL << 58);
 }
 
 TEST(LockWord, TxnMaskOneBitPerId) {
@@ -47,14 +47,12 @@ TEST(LockWord, UpgraderFlag) {
   EXPECT_FALSE(has_upgrader(w));
 }
 
-TEST(LockWord, QueueIdRoundTrip) {
+TEST(LockWord, WaitersBitRoundTrip) {
   LockWord w = with_member(0, txn_mask(55));
-  for (int qid = 0; qid <= kNumQueues; qid++) {
-    LockWord q = with_queue(w, qid);
-    EXPECT_EQ(queue_id(q), qid);
-    EXPECT_EQ(members(q), members(w)) << "queue id must not disturb members";
-  }
-  EXPECT_EQ(queue_id(without_queue(with_queue(w, 17))), 0);
+  LockWord q = with_waiters(w);
+  EXPECT_TRUE(has_waiters(q));
+  EXPECT_EQ(members(q), members(w)) << "waiters bit must not disturb members";
+  EXPECT_FALSE(has_waiters(without_waiters(q)));
 }
 
 TEST(LockWord, FieldsDoNotOverlap) {
@@ -62,11 +60,11 @@ TEST(LockWord, FieldsDoNotOverlap) {
   w = with_member(w, txn_mask(55));
   w = with_writer(w);
   w = with_upgrader(w);
-  w = with_queue(w, 63);
+  w = with_waiters(w);
   EXPECT_TRUE(is_member(w, txn_mask(55)));
   EXPECT_TRUE(has_writer(w));
   EXPECT_TRUE(has_upgrader(w));
-  EXPECT_EQ(queue_id(w), 63);
+  EXPECT_TRUE(has_waiters(w));
   EXPECT_EQ(members(w), txn_mask(55));
 }
 
@@ -75,7 +73,7 @@ TEST(LockWord, ReadGrabbable) {
   EXPECT_TRUE(read_grabbable(with_member(0, txn_mask(2))));  // shared read
   EXPECT_FALSE(read_grabbable(with_writer(with_member(0, txn_mask(2)))));
   EXPECT_FALSE(read_grabbable(with_upgrader(with_member(0, txn_mask(2)))));
-  EXPECT_FALSE(read_grabbable(with_queue(0, 5)));  // fairness: queue attached
+  EXPECT_FALSE(read_grabbable(with_waiters(0)));  // fairness: waiters queued
 }
 
 TEST(LockWord, WriteGrabbable) {
@@ -85,8 +83,8 @@ TEST(LockWord, WriteGrabbable) {
   EXPECT_TRUE(write_grabbable(with_member(0, me), me));
   // Not with other readers present.
   EXPECT_FALSE(write_grabbable(with_member(with_member(0, me), txn_mask(2)), me));
-  // Not when a queue is attached.
-  EXPECT_FALSE(write_grabbable(with_queue(0, 3), me));
+  // Not when waiters are parked (they reached the word first).
+  EXPECT_FALSE(write_grabbable(with_waiters(0), me));
   // Not when another transaction holds a write lock.
   EXPECT_FALSE(write_grabbable(with_writer(with_member(0, txn_mask(2))), me));
 }

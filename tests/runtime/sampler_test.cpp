@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "api/sbd.h"
 
 namespace sbd::runtime {
