@@ -1,0 +1,313 @@
+// bench_serve — open-loop load generator for the sbd::serve scenario.
+//
+// Methodology: OPEN-LOOP arrivals. Request j of the run is scheduled at
+// T0 + j/rate, independent of whether earlier responses came back, and
+// its latency is measured from that SCHEDULED time — so queueing delay
+// inside the server (and a generator that fell behind) is charged to
+// the request instead of silently vanishing (the coordinated-omission
+// trap of closed-loop "send, wait, send" load generation). The global
+// arrival sequence is partitioned round-robin across C client
+// connections, each a plain (non-SBD) thread driving one keep-alive
+// connection; a connection that dies (fault injection, churn) is
+// re-dialed and counted.
+//
+// Workload: --mix GET/PUT/txfer percentages; GET/PUT keys drawn from a
+// Zipf(theta) distribution over --keys (hot-key skew — the contended
+// regime the SBD runtime exists for); txfer moves 1 unit between two
+// uniform accounts, so SUM(balance) is invariant. After the run the
+// bench re-checks conservation and fails loudly if serving broke it.
+//
+// Output: human-readable or --json (the committed BENCH_serve.json
+// baseline shape); --slo-p99-ms makes the exit code a latency gate for
+// CI. Faults: --fault-site/--fault-rate installs a single-site plan
+// (7 = socket-reset, 13 = serve-accept-fail, 14 = serve-write-short).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/fault.h"
+#include "core/obs.h"
+#include "db/db.h"
+#include "net/http.h"
+#include "net/loopback.h"
+#include "runtime/heap.h"
+#include "serve/serve.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  double rate = 2000;        // total target req/s across all clients
+  long long durationMs = 2000;
+  int clients = 8;
+  int workers = 4;
+  int keys = 256;
+  double zipfTheta = 0.9;
+  double churn = 0.01;       // per-request reconnect probability
+  int mixGet = 70, mixPut = 20, mixTxfer = 10;
+  int accounts = 64;
+  long long balance = 1000;
+  uint64_t seed = 42;
+  int faultSite = -1;
+  double faultRate = 0.0;
+  bool json = false;
+  double sloP99Ms = -1;      // <0: no gate
+};
+
+// Zipf(theta) sampler over [0, n): inverse-CDF via binary search on a
+// precomputed table (n is small; setup cost is irrelevant).
+class Zipf {
+ public:
+  Zipf(int n, double theta) : cdf_(static_cast<size_t>(n)) {
+    double sum = 0;
+    for (int i = 0; i < n; i++) sum += 1.0 / std::pow(i + 1, theta);
+    double acc = 0;
+    for (int i = 0; i < n; i++) {
+      acc += 1.0 / std::pow(i + 1, theta) / sum;
+      cdf_[static_cast<size_t>(i)] = acc;
+    }
+    cdf_.back() = 1.0;
+  }
+  int sample(double u) const {
+    return static_cast<int>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct ClientStats {
+  std::vector<double> latenciesMs;  // successful requests only
+  uint64_t completed = 0;
+  uint64_t errors = 0;      // EOF/unparseable response (resets, short writes)
+  uint64_t reconnects = 0;  // re-dials after a dead connection or churn
+  uint64_t status4xx = 0;
+  uint64_t status5xx = 0;
+};
+
+// One request over an (auto-redialing) keep-alive connection. Returns
+// false when the connection died mid-request; the socket is left closed
+// so the next call re-dials.
+bool issue(sbd::net::Socket& sock, int port, const sbd::net::HttpRequest& req,
+           ClientStats& st) {
+  if (!sock.valid()) {
+    sock = sbd::net::Network::instance().connect(port, /*timeoutMs=*/1000);
+    st.reconnects++;
+  }
+  sock.write(sbd::net::serialize(req));
+  sbd::net::HttpResponse resp;
+  auto readFn = [&](void* out, size_t n) { return sock.read(out, n); };
+  if (sbd::net::read_response_status(readFn, resp) != sbd::net::ReadStatus::kOk) {
+    // Reset / short write / server gone: unknown outcome for the client.
+    st.errors++;
+    sock.close();
+    sock = sbd::net::Socket();
+    return false;
+  }
+  if (resp.status >= 500) st.status5xx++;
+  else if (resp.status >= 400) st.status4xx++;
+  auto cc = resp.headers.find("Connection");
+  if (cc != resp.headers.end() && cc->second == "close") {
+    sock.close();
+    sock = sbd::net::Socket();
+  }
+  return true;
+}
+
+void client_loop(int id, const Options& opt, const Zipf& zipf, uint64_t total,
+                 Clock::time_point t0, ClientStats& st) {
+  sbd::Rng rng(sbd::mix64(opt.seed ^ static_cast<uint64_t>(id) ^ 0xc11e47ULL));
+  sbd::net::Socket sock;
+  const double perReqNs = 1e9 / opt.rate;
+  for (uint64_t j = static_cast<uint64_t>(id); j < total;
+       j += static_cast<uint64_t>(opt.clients)) {
+    const auto scheduled =
+        t0 + std::chrono::nanoseconds(static_cast<int64_t>(perReqNs * static_cast<double>(j)));
+    std::this_thread::sleep_until(scheduled);
+
+    sbd::net::HttpRequest req;
+    const int pick = static_cast<int>(rng.below(100));
+    if (pick < opt.mixGet) {
+      req.method = "GET";
+      req.path = "/kv/" + std::to_string(zipf.sample(rng.unit()));
+    } else if (pick < opt.mixGet + opt.mixPut) {
+      req.method = "PUT";
+      req.path = "/kv/" + std::to_string(zipf.sample(rng.unit()));
+      req.body = "v" + std::to_string(j);
+    } else {
+      const int64_t from = rng.range(0, opt.accounts - 1);
+      const int64_t to = rng.range(0, opt.accounts - 1);
+      req.method = "POST";
+      req.path = "/txfer";
+      req.body = "from=" + std::to_string(from) + "&to=" + std::to_string(to) +
+                 "&amount=1";
+    }
+    if (issue(sock, 8090 + 1, req, st)) {
+      st.completed++;
+      st.latenciesMs.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - scheduled).count());
+    }
+    if (rng.chance(opt.churn)) {
+      if (sock.valid()) sock.close();
+      sock = sbd::net::Socket();
+    }
+  }
+  if (sock.valid()) sock.close();
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--rate R] [--duration-ms N] [--clients N] [--workers N]\n"
+               "          [--keys N] [--zipf THETA] [--churn P] [--mix G:P:T]\n"
+               "          [--accounts N] [--seed N] [--fault-site N] [--fault-rate R]\n"
+               "          [--slo-p99-ms MS] [--json]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; i++) {
+    auto num = [&](double& out) {
+      if (i + 1 >= argc) { usage(argv[0]); std::exit(2); }
+      out = std::atof(argv[++i]);
+    };
+    double v;
+    if (!std::strcmp(argv[i], "--rate")) { num(v); opt.rate = v; }
+    else if (!std::strcmp(argv[i], "--duration-ms")) { num(v); opt.durationMs = static_cast<long long>(v); }
+    else if (!std::strcmp(argv[i], "--clients")) { num(v); opt.clients = static_cast<int>(v); }
+    else if (!std::strcmp(argv[i], "--workers")) { num(v); opt.workers = static_cast<int>(v); }
+    else if (!std::strcmp(argv[i], "--keys")) { num(v); opt.keys = static_cast<int>(v); }
+    else if (!std::strcmp(argv[i], "--zipf")) { num(v); opt.zipfTheta = v; }
+    else if (!std::strcmp(argv[i], "--churn")) { num(v); opt.churn = v; }
+    else if (!std::strcmp(argv[i], "--accounts")) { num(v); opt.accounts = static_cast<int>(v); }
+    else if (!std::strcmp(argv[i], "--seed")) { num(v); opt.seed = static_cast<uint64_t>(v); }
+    else if (!std::strcmp(argv[i], "--fault-site")) { num(v); opt.faultSite = static_cast<int>(v); }
+    else if (!std::strcmp(argv[i], "--fault-rate")) { num(v); opt.faultRate = v; }
+    else if (!std::strcmp(argv[i], "--slo-p99-ms")) { num(v); opt.sloP99Ms = v; }
+    else if (!std::strcmp(argv[i], "--mix")) {
+      if (i + 1 >= argc ||
+          std::sscanf(argv[++i], "%d:%d:%d", &opt.mixGet, &opt.mixPut, &opt.mixTxfer) != 3 ||
+          opt.mixGet + opt.mixPut + opt.mixTxfer != 100) {
+        std::fprintf(stderr, "--mix wants G:P:T summing to 100\n");
+        return 2;
+      }
+    }
+    else if (!std::strcmp(argv[i], "--json")) opt.json = true;
+    else { usage(argv[0]); return 2; }
+  }
+
+  SBD_ATTACH_THREAD();
+  sbd::db::Database db;
+  sbd::serve::ensure_tables(db);
+  sbd::serve::seed_accounts(db, opt.accounts, opt.balance);
+  const int64_t before = sbd::serve::total_balance(db);
+
+  sbd::serve::Config scfg;
+  scfg.port = 8090 + 1;  // off the default so a stray sbd_serve can coexist
+  scfg.workers = opt.workers;
+  sbd::serve::Server server(db, scfg);
+
+  sbd::fault::FaultPlan plan;
+  if (opt.faultSite >= 0 && opt.faultSite < sbd::fault::kNumSites)
+    plan = sbd::fault::single_site(static_cast<sbd::fault::Site>(opt.faultSite),
+                                   opt.faultRate, opt.seed);
+  sbd::fault::PlanScope scope(plan);
+
+  server.start();
+
+  const uint64_t total =
+      static_cast<uint64_t>(opt.rate * static_cast<double>(opt.durationMs) / 1000.0);
+  const Zipf zipf(opt.keys, opt.zipfTheta);
+  std::vector<ClientStats> stats(static_cast<size_t>(opt.clients));
+  std::vector<std::thread> clients;
+  const auto t0 = Clock::now();
+  for (int c = 0; c < opt.clients; c++)
+    clients.emplace_back(client_loop, c, std::cref(opt), std::cref(zipf), total, t0,
+                         std::ref(stats[static_cast<size_t>(c)]));
+  for (auto& t : clients) t.join();
+  const double elapsedS = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  server.shutdown();
+  const int64_t after = sbd::serve::total_balance(db);
+
+  std::vector<double> lat;
+  ClientStats sum;
+  for (auto& s : stats) {
+    lat.insert(lat.end(), s.latenciesMs.begin(), s.latenciesMs.end());
+    sum.completed += s.completed;
+    sum.errors += s.errors;
+    sum.reconnects += s.reconnects;
+    sum.status4xx += s.status4xx;
+    sum.status5xx += s.status5xx;
+  }
+  std::sort(lat.begin(), lat.end());
+  const double p50 = percentile(lat, 0.50);
+  const double p99 = percentile(lat, 0.99);
+  const double p999 = percentile(lat, 0.999);
+  const double rps = elapsedS > 0 ? static_cast<double>(sum.completed) / elapsedS : 0;
+  const bool conserved = before == after;
+  const bool sloOk = opt.sloP99Ms < 0 || p99 <= opt.sloP99Ms;
+
+  if (opt.json) {
+    std::printf(
+        "{\n"
+        "  \"config\": {\"rate\": %.0f, \"duration_ms\": %lld, \"clients\": %d, "
+        "\"workers\": %d, \"keys\": %d, \"zipf\": %.2f, \"churn\": %.3f, "
+        "\"mix\": \"%d:%d:%d\", \"accounts\": %d, \"seed\": %llu, "
+        "\"fault_site\": %d, \"fault_rate\": %.3f},\n"
+        "  \"results\": {\"scheduled\": %llu, \"completed\": %llu, \"errors\": %llu, "
+        "\"reconnects\": %llu, \"status_4xx\": %llu, \"status_5xx\": %llu, "
+        "\"throughput_rps\": %.0f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"p999_ms\": %.3f, \"balance_conserved\": %s},\n"
+        "  \"serve\": %s\n"
+        "}\n",
+        opt.rate, opt.durationMs, opt.clients, opt.workers, opt.keys, opt.zipfTheta,
+        opt.churn, opt.mixGet, opt.mixPut, opt.mixTxfer, opt.accounts,
+        static_cast<unsigned long long>(opt.seed), opt.faultSite, opt.faultRate,
+        static_cast<unsigned long long>(total),
+        static_cast<unsigned long long>(sum.completed),
+        static_cast<unsigned long long>(sum.errors),
+        static_cast<unsigned long long>(sum.reconnects),
+        static_cast<unsigned long long>(sum.status4xx),
+        static_cast<unsigned long long>(sum.status5xx), rps, p50, p99, p999,
+        conserved ? "true" : "false", sbd::serve::metrics_section().c_str());
+  } else {
+    std::printf("bench_serve: %llu scheduled @ %.0f req/s, %d clients -> %d workers\n",
+                static_cast<unsigned long long>(total), opt.rate, opt.clients,
+                opt.workers);
+    std::printf("  completed %llu (%.0f req/s), errors %llu, reconnects %llu, "
+                "4xx %llu, 5xx %llu\n",
+                static_cast<unsigned long long>(sum.completed), rps,
+                static_cast<unsigned long long>(sum.errors),
+                static_cast<unsigned long long>(sum.reconnects),
+                static_cast<unsigned long long>(sum.status4xx),
+                static_cast<unsigned long long>(sum.status5xx));
+    std::printf("  latency (from scheduled arrival): p50 %.3f ms, p99 %.3f ms, "
+                "p999 %.3f ms\n", p50, p99, p999);
+    std::printf("  balance: %s; p99 SLO %s\n", conserved ? "conserved" : "VIOLATED",
+                opt.sloP99Ms < 0 ? "not gated" : (sloOk ? "met" : "MISSED"));
+    std::printf("  serve: %s\n", sbd::serve::metrics_section().c_str());
+  }
+  sbd::obs::export_metrics_if_requested();
+  if (!conserved) return 1;
+  if (!sloOk) return 3;
+  return 0;
+}

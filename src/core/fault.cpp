@@ -66,6 +66,8 @@ const char* site_name(Site s) {
     case Site::kReplanVeto:    return "replan-veto-delay";
     case Site::kReplanSwap:    return "replan-swap-delay";
     case Site::kReplanPoll:    return "replan-poll-delay";
+    case Site::kServeAcceptFail: return "serve-accept-fail";
+    case Site::kServeWriteShort: return "serve-write-short";
   }
   return "?";
 }

@@ -35,8 +35,10 @@ enum class Site : int {
   kReplanVeto,       // delay the re-plan veto scan while the world is stopped (runtime/lockplan.cpp)
   kReplanSwap,       // delay the re-plan lock-map swap while the world is stopped (runtime/lockplan.cpp)
   kReplanPoll,       // delay a mutator reaching its safepoint park (core/safepoint.cpp)
+  kServeAcceptFail,  // accept() returns a dead connection to the server (src/serve/serve.cpp)
+  kServeWriteShort,  // response write cut short mid-flight, connection dropped (src/serve/serve.cpp)
 };
-inline constexpr int kNumSites = 13;
+inline constexpr int kNumSites = 15;
 
 const char* site_name(Site s);
 

@@ -570,6 +570,31 @@ void reset_contention() {
 // Metrics snapshot
 // ---------------------------------------------------------------------------
 
+namespace {
+// Extension sections (e.g. sbd::serve). Intentionally leaked singleton,
+// like the ring registries: providers may be queried from atexit paths.
+struct ExtraSections {
+  std::mutex mu;
+  std::vector<std::pair<std::string, std::string (*)()>> entries;
+};
+ExtraSections& extra_sections() {
+  static ExtraSections* s = new ExtraSections();
+  return *s;
+}
+}  // namespace
+
+void register_metrics_section(const char* name, std::string (*provider)()) {
+  ExtraSections& s = extra_sections();
+  std::lock_guard<std::mutex> lk(s.mu);
+  for (auto& [n, p] : s.entries) {
+    if (n == name) {
+      p = provider;
+      return;
+    }
+  }
+  s.entries.emplace_back(name, provider);
+}
+
 std::string metrics_json() {
   const core::StatsCounters c = core::TxnManager::instance().snapshot_stats();
   // Field-completeness: the static_assert in core/stats.h points here —
@@ -630,7 +655,14 @@ std::string metrics_json() {
     os << (i == 0 ? "" : ", ") << "{\"lock\": \"" << json_escape(top[i].name)
        << "\", \"blocks\": " << top[i].blocks << ", \"writes\": " << top[i].writes << "}";
   }
-  os << "]\n}\n";
+  os << "]";
+  {
+    ExtraSections& s = extra_sections();
+    std::lock_guard<std::mutex> lk(s.mu);
+    for (const auto& [name, provider] : s.entries)
+      os << ",\n  \"" << json_escape(name) << "\": " << provider();
+  }
+  os << "\n}\n";
   return os.str();
 }
 

@@ -237,6 +237,15 @@ void reset_contention();
 // JSON object.
 std::string metrics_json();
 
+// Registers an extra top-level metrics section: metrics_json() appends
+// `"name": <provider()>` for each registration, letting subsystems the
+// core cannot link against (sbd::serve) contribute without a dependency
+// cycle. `provider` must return a complete JSON value and stay callable
+// for the life of the process (register function pointers or lambdas
+// over process-lifetime state, not over short-lived objects).
+// Re-registering a name replaces the previous provider.
+void register_metrics_section(const char* name, std::string (*provider)());
+
 // Writes metrics_json() to `path`; returns false on I/O error.
 bool export_metrics(const std::string& path);
 

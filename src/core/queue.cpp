@@ -349,4 +349,14 @@ ParkingLot::Counters ParkingLot::counters() {
                   gIdWakes.load(std::memory_order_relaxed)};
 }
 
+size_t ParkingLot::approx_waiters() {
+  ParkingLot& lot = instance();
+  size_t depth = 0;
+  for (size_t i = 0; i < kBuckets; i++) {
+    std::lock_guard<std::mutex> lk(lot.buckets_[i].mu);
+    for (WaitNode* n = lot.buckets_[i].head; n; n = n->next) depth++;
+  }
+  return depth;
+}
+
 }  // namespace sbd::core

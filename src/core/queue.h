@@ -192,6 +192,11 @@ class ParkingLot {
   };
   static Counters counters();
 
+  // Live waiter-node count across all buckets (lock + id-pool waiters)
+  // — the instantaneous parked-waiter depth the serving metrics report.
+  // Takes each bucket lock briefly; export-path only, never hot.
+  static size_t approx_waiters();
+
  private:
   ParkingLot() = default;
 

@@ -1,5 +1,6 @@
 #include "net/http.h"
 
+#include <cstdint>
 #include <sstream>
 
 #include "common/check.h"
@@ -23,25 +24,57 @@ bool read_line(const std::function<size_t(void*, size_t)>& readFn, std::string& 
   return false;
 }
 
-void parse_headers(const std::function<size_t(void*, size_t)>& readFn,
-                   std::map<std::string, std::string>& headers) {
+// Returns true iff the header section terminated with its blank line.
+// EOF mid-headers is a truncated (unframeable) message, not a shorter
+// one — treating it as complete made a response cut off mid-write look
+// parseable to the peer.
+bool parse_headers(const std::function<size_t(void*, size_t)>& readFn,
+                   HeaderMap& headers) {
   std::string line;
-  while (read_line(readFn, line) && !line.empty()) {
+  while (read_line(readFn, line)) {
+    if (line.empty()) return true;
     const auto colon = line.find(':');
     if (colon == std::string::npos) continue;
     std::string key = line.substr(0, colon);
     size_t v = colon + 1;
     while (v < line.size() && line[v] == ' ') v++;
+    // HeaderMap compares case-insensitively, so "content-length" and
+    // "Content-Length" land in (and are found at) the same slot.
     headers[key] = line.substr(v);
   }
+  return false;
 }
 
-std::string read_body(const std::function<size_t(void*, size_t)>& readFn,
-                      const std::map<std::string, std::string>& headers) {
+// Parses a Content-Length value defensively: digits only, no sign, no
+// overflow, bounded by `cap`. The old std::stoul call would throw
+// std::invalid_argument on "banana" (remote-triggered process abort)
+// and happily return SIZE_MAX-scale values that the body read then
+// tried to allocate.
+bool parse_content_length(const std::string& s, size_t& out) {
+  if (s.empty()) return false;
+  size_t len = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;  // rejects "-1", "1e9", "banana"
+    const size_t digit = static_cast<size_t>(c - '0');
+    if (len > (SIZE_MAX - digit) / 10) return false;  // numeric overflow
+    len = len * 10 + digit;
+  }
+  out = len;
+  return true;
+}
+
+// Reads the declared body. kTooLarge/kBadRequest mean the connection
+// can no longer be framed; a body cut short by EOF is returned as-is
+// (the caller sees fewer bytes than Content-Length promised).
+ReadStatus read_body(const std::function<size_t(void*, size_t)>& readFn,
+                     const HeaderMap& headers, size_t maxBody, std::string& body) {
+  body.clear();
   auto it = headers.find("Content-Length");
-  if (it == headers.end()) return {};
-  const size_t len = static_cast<size_t>(std::stoul(it->second));
-  std::string body(len, '\0');
+  if (it == headers.end()) return ReadStatus::kOk;
+  size_t len = 0;
+  if (!parse_content_length(it->second, len)) return ReadStatus::kBadRequest;
+  if (len > maxBody) return ReadStatus::kTooLarge;
+  body.resize(len);
   size_t got = 0;
   while (got < len) {
     const size_t n = readFn(body.data() + got, len - got);
@@ -49,47 +82,89 @@ std::string read_body(const std::function<size_t(void*, size_t)>& readFn,
     got += n;
   }
   body.resize(got);
-  return body;
+  return ReadStatus::kOk;
 }
 
 }  // namespace
 
-bool read_request(const std::function<size_t(void*, size_t)>& readFn, HttpRequest& out) {
+ReadStatus read_request_status(const std::function<size_t(void*, size_t)>& readFn,
+                               HttpRequest& out, size_t maxBody) {
   std::string line;
-  if (!read_line(readFn, line) || line.empty()) return false;
+  if (!read_line(readFn, line) || line.empty()) return ReadStatus::kEof;
   std::istringstream ls(line);
   std::string version;
   ls >> out.method >> out.path >> version;
-  parse_headers(readFn, out.headers);
-  out.body = read_body(readFn, out.headers);
-  return true;
+  if (out.method.empty() || out.path.empty() || version.empty())
+    return ReadStatus::kBadRequest;  // truncated start-line ("GET /x")
+  if (!parse_headers(readFn, out.headers)) return ReadStatus::kBadRequest;
+  return read_body(readFn, out.headers, maxBody, out.body);
+}
+
+ReadStatus read_response_status(const std::function<size_t(void*, size_t)>& readFn,
+                                HttpResponse& out, size_t maxBody) {
+  std::string line;
+  if (!read_line(readFn, line) || line.empty()) return ReadStatus::kEof;
+  std::istringstream ls(line);
+  std::string version;
+  ls >> version >> out.status;
+  if (version.empty() || out.status <= 0) return ReadStatus::kBadRequest;
+  if (!parse_headers(readFn, out.headers)) return ReadStatus::kBadRequest;
+  return read_body(readFn, out.headers, maxBody, out.body);
+}
+
+bool read_request(const std::function<size_t(void*, size_t)>& readFn, HttpRequest& out) {
+  return read_request_status(readFn, out) == ReadStatus::kOk;
 }
 
 bool read_response(const std::function<size_t(void*, size_t)>& readFn,
                    HttpResponse& out) {
-  std::string line;
-  if (!read_line(readFn, line) || line.empty()) return false;
-  std::istringstream ls(line);
-  std::string version;
-  ls >> version >> out.status;
-  parse_headers(readFn, out.headers);
-  out.body = read_body(readFn, out.headers);
-  return true;
+  return read_response_status(readFn, out) == ReadStatus::kOk;
+}
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: break;
+  }
+  if (status >= 200 && status < 300) return "OK";
+  if (status >= 300 && status < 400) return "Redirect";
+  if (status >= 400 && status < 500) return "Client Error";
+  return "Error";
 }
 
 std::string serialize(const HttpRequest& req) {
   std::ostringstream os;
   os << req.method << ' ' << req.path << " HTTP/1.1\r\n";
   for (const auto& [k, v] : req.headers) os << k << ": " << v << "\r\n";
-  if (!req.body.empty()) os << "Content-Length: " << req.body.size() << "\r\n";
+  // A caller-set Content-Length (any spelling) is authoritative; only
+  // synthesize one when the body needs framing and none was given.
+  if (!req.body.empty() && req.headers.find("Content-Length") == req.headers.end())
+    os << "Content-Length: " << req.body.size() << "\r\n";
   os << "\r\n" << req.body;
   return os.str();
 }
 
 std::string serialize(const HttpResponse& resp) {
   std::ostringstream os;
-  os << "HTTP/1.1 " << resp.status << (resp.status == 200 ? " OK" : " ERR") << "\r\n";
-  for (const auto& [k, v] : resp.headers) os << k << ": " << v << "\r\n";
+  os << "HTTP/1.1 " << resp.status << ' ' << reason_phrase(resp.status) << "\r\n";
+  // The serializer owns body framing: a stale caller-set Content-Length
+  // would desynchronize keep-alive connections, so it is dropped in
+  // favor of the actual body size.
+  for (const auto& [k, v] : resp.headers)
+    if (resp.headers.key_comp()(k, "Content-Length") ||
+        resp.headers.key_comp()("Content-Length", k))
+      os << k << ": " << v << "\r\n";
   os << "Content-Length: " << resp.body.size() << "\r\n\r\n" << resp.body;
   return os.str();
 }

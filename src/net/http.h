@@ -1,8 +1,9 @@
 // Minimal HTTP/1.1 framing over the loopback network, plus the
 // transactional socket wrapper and server-side helpers (sessions,
-// string manager) used by the Tomcat benchmark analog.
+// string manager) used by the Tomcat benchmark analog and sbd::serve.
 #pragma once
 
+#include <cctype>
 #include <functional>
 #include <map>
 #include <string>
@@ -13,23 +14,71 @@
 
 namespace sbd::net {
 
+// HTTP header field names are case-insensitive (RFC 9110 §5.1): a peer
+// sending "content-length: 5" frames its body exactly like one sending
+// "Content-Length: 5". The map compares keys case-insensitively so
+// inserts AND lookups normalize without rewriting callers; the
+// originally-inserted spelling is preserved for serialization.
+struct HeaderLess {
+  bool operator()(const std::string& a, const std::string& b) const noexcept {
+    const size_t n = a.size() < b.size() ? a.size() : b.size();
+    for (size_t i = 0; i < n; i++) {
+      const int ca = std::tolower(static_cast<unsigned char>(a[i]));
+      const int cb = std::tolower(static_cast<unsigned char>(b[i]));
+      if (ca != cb) return ca < cb;
+    }
+    return a.size() < b.size();
+  }
+};
+using HeaderMap = std::map<std::string, std::string, HeaderLess>;
+
+// Hard cap on the body bytes a Content-Length header may request: a
+// malicious peer must not be able to make the parser allocate
+// arbitrarily (or crash std::stoul). Callers with tighter budgets pass
+// their own cap to read_request_status.
+inline constexpr size_t kMaxBodyBytes = 1u << 20;  // 1 MiB
+
 struct HttpRequest {
   std::string method;
   std::string path;
-  std::map<std::string, std::string> headers;
+  HeaderMap headers;
   std::string body;
 };
 
 struct HttpResponse {
   int status = 200;
-  std::map<std::string, std::string> headers;
+  HeaderMap headers;
   std::string body;
 };
 
-// Reads one request from `readFn` (a blocking byte source). Returns
-// false on clean EOF before the first byte.
+// Why one request failed to parse — the serving layer turns these into
+// 4xx responses instead of tearing the process down.
+enum class ReadStatus {
+  kOk,          // a complete request/response was framed
+  kEof,         // clean EOF before the first byte (peer closed)
+  kBadRequest,  // malformed start-line or Content-Length (non-numeric,
+                // negative, overflow): connection framing is lost
+  kTooLarge,    // Content-Length exceeded the body cap
+};
+
+// Reads one request from `readFn` (a blocking byte source), enforcing
+// `maxBody` on the declared Content-Length. Never throws on malformed
+// input; a non-kOk status means the connection must be closed (the
+// byte stream can no longer be framed).
+ReadStatus read_request_status(const std::function<size_t(void*, size_t)>& readFn,
+                               HttpRequest& out, size_t maxBody = kMaxBodyBytes);
+ReadStatus read_response_status(const std::function<size_t(void*, size_t)>& readFn,
+                                HttpResponse& out, size_t maxBody = kMaxBodyBytes);
+
+// Legacy bool forms (kOk => true). Callers that only distinguish
+// "got one" from "stop reading this connection" keep using these.
 bool read_request(const std::function<size_t(void*, size_t)>& readFn, HttpRequest& out);
-bool read_response(const std::function<size_t(void*, size_t)>& readFn, HttpResponse& out);
+bool read_response(const std::function<size_t(void*, size_t)>& readFn,
+                   HttpResponse& out);
+
+// Standard reason phrase for a status code ("Not Found", ...); a
+// best-effort class default ("Error") for codes not in the table.
+const char* reason_phrase(int status);
 
 std::string serialize(const HttpRequest& req);
 std::string serialize(const HttpResponse& resp);

@@ -29,21 +29,33 @@ void Pipe::write(const void* data, size_t n) {
   const auto* p = static_cast<const uint8_t*>(data);
   size_t written = 0;
   while (written < n) {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [&] { return buf_.size() < capacity_ || readClosed_; });
-    if (readClosed_) return;  // peer is gone; drop (like EPIPE w/o signal)
-    const size_t room = capacity_ - buf_.size();
-    const size_t take = std::min(room, n - written);
-    buf_.insert(buf_.end(), p + written, p + written + take);
-    written += take;
-    cv_.notify_all();
+    std::function<void()> fire;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return buf_.size() < capacity_ || readClosed_; });
+      if (readClosed_) return;  // peer is gone; drop (like EPIPE w/o signal)
+      const size_t room = capacity_ - buf_.size();
+      const size_t take = std::min(room, n - written);
+      buf_.insert(buf_.end(), p + written, p + written + take);
+      written += take;
+      cv_.notify_all();
+      fire = std::move(notify_);  // one-shot: consume the armed edge
+      notify_ = nullptr;
+    }
+    if (fire) fire();  // outside the lock: the callback may take others
   }
 }
 
 void Pipe::close_write() {
-  std::lock_guard<std::mutex> lk(mu_);
-  writeClosed_ = true;
-  cv_.notify_all();
+  std::function<void()> fire;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    writeClosed_ = true;
+    cv_.notify_all();
+    fire = std::move(notify_);  // EOF is a readiness edge too
+    notify_ = nullptr;
+  }
+  if (fire) fire();
 }
 
 void Pipe::close_read() {
@@ -61,6 +73,29 @@ bool Pipe::wait_readable() {
   std::unique_lock<std::mutex> lk(mu_);
   cv_.wait(lk, [&] { return !buf_.empty() || writeClosed_; });
   return !buf_.empty();
+}
+
+void Pipe::arm_notify(std::function<void()> fn) {
+  bool fireNow = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!buf_.empty() || writeClosed_) {
+      fireNow = true;  // already readable: the edge fires immediately
+    } else {
+      notify_ = std::move(fn);
+    }
+  }
+  if (fireNow) fn();
+}
+
+void Pipe::disarm_notify() {
+  std::function<void()> drop;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    drop = std::move(notify_);
+    notify_ = nullptr;
+  }
+  // `drop` destroyed outside the lock (its captures may own locks).
 }
 
 // ---------------------------------------------------------------------------
@@ -124,17 +159,28 @@ Listener Network::listen(int port) {
   return l;
 }
 
-Socket Network::connect(int port) {
+Socket Network::connect(int port, uint64_t timeoutMs) {
   std::shared_ptr<Listener::State> state;
   {
     std::unique_lock<std::mutex> lk(impl_->mu);
-    impl_->cv.wait_for(lk, std::chrono::seconds(5), [&] {
+    impl_->cv.wait_for(lk, std::chrono::milliseconds(timeoutMs), [&] {
       auto it = impl_->ports.find(port);
       return it != impl_->ports.end() && !it->second->closed;
     });
     auto it = impl_->ports.find(port);
-    SBD_CHECK_MSG(it != impl_->ports.end() && !it->second->closed,
-                  "connect: no listener on port");
+    if (it == impl_->ports.end() || it->second->closed) {
+      // No listener within the wait: hand back a dead socket (EOF on
+      // read, writes dropped) — the same shape as the kSocketReset
+      // fault below — so the caller can retry or degrade. The old
+      // SBD_CHECK_MSG here turned a peer that was merely slow to bind
+      // into a whole-process abort.
+      auto* c2s = new Pipe();
+      auto* s2c = new Pipe();
+      Socket clientEnd(s2c, c2s);
+      s2c->close_write();
+      c2s->close_read();
+      return clientEnd;
+    }
     state = it->second;
   }
   // Connection pipes are network-owned (never freed): socket handles

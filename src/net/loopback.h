@@ -8,6 +8,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string_view>
@@ -34,6 +35,18 @@ class Pipe {
   // Blocks until data is readable or the writer closed; true if data.
   bool wait_readable();
 
+  // One-shot readiness edge (the EPOLLONESHOT idiom): `fn` fires once,
+  // from the writer's thread, when the pipe becomes readable or the
+  // writer closes — or immediately from this call if it already is.
+  // After firing the pipe is disarmed; the consumer re-arms after it
+  // drains. `fn` is invoked with no pipe lock held and must be cheap
+  // and non-blocking (sbd::serve pushes the connection onto a ready
+  // queue). This is what lets one dispatcher thread multiplex N
+  // connections onto a worker pool instead of parking a thread per
+  // connection.
+  void arm_notify(std::function<void()> fn);
+  void disarm_notify();
+
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -41,6 +54,7 @@ class Pipe {
   size_t capacity_;
   bool writeClosed_ = false;
   bool readClosed_ = false;
+  std::function<void()> notify_;  // armed = non-null; one-shot
 };
 
 // A bidirectional endpoint (one side of a socket pair).
@@ -64,6 +78,18 @@ class Socket {
 
   size_t available() const { return in_->available(); }
   bool wait_readable() { return in_->wait_readable(); }
+
+  // Edge-notify on the read side (see Pipe::arm_notify).
+  void arm_read_notify(std::function<void()> fn) { in_->arm_notify(std::move(fn)); }
+  void disarm_read_notify() { in_->disarm_notify(); }
+
+  // shutdown(SHUT_RD): forces local reads to EOF once buffered data is
+  // drained and WAKES a reader blocked in read()/wait_readable() — the
+  // graceful-drain lever for unsticking a worker mid-request. The
+  // peer's writes still complete (and are discarded by nobody reading).
+  void shutdown_read() {
+    if (in_) in_->close_write();
+  }
 
   void close();
 
@@ -95,9 +121,13 @@ class Network {
   // Binds a port; throws if already bound.
   Listener listen(int port);
 
-  // Blocks until the port has a listener (bounded wait), then returns
-  // the client end of a fresh socket pair.
-  Socket connect(int port);
+  // Blocks until the port has a listener (up to `timeoutMs`), then
+  // returns the client end of a fresh socket pair. When the wait
+  // expires with no listener the returned socket is valid but DEAD —
+  // reads see EOF, writes are dropped, exactly like the kSocketReset
+  // fault — so callers can retry or degrade instead of the process
+  // aborting (ECONNREFUSED semantics, not a crash).
+  Socket connect(int port, uint64_t timeoutMs = 5000);
 
   // Unbinds everything (test isolation).
   void reset();

@@ -1,0 +1,202 @@
+// The net-layer hardening this PR's serving scenario tripped over:
+// hostile Content-Length values (the std::stoul remote crash), header
+// case sensitivity, serialize() duplicating Content-Length / emitting
+// " ERR" reason phrases, and Network::connect aborting the process on
+// a connect timeout.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "net/http.h"
+#include "net/loopback.h"
+
+namespace sbd::net {
+namespace {
+
+std::function<size_t(void*, size_t)> string_source(const std::string& wire,
+                                                   std::shared_ptr<size_t> pos) {
+  return [wire, pos](void* out, size_t n) -> size_t {
+    const size_t take = std::min(n, wire.size() - *pos);
+    std::memcpy(out, wire.data() + *pos, take);
+    *pos += take;
+    return take;
+  };
+}
+
+ReadStatus parse(const std::string& wire, HttpRequest& req,
+                 size_t maxBody = kMaxBodyBytes) {
+  auto pos = std::make_shared<size_t>(0);
+  return read_request_status(string_source(wire, pos), req, maxBody);
+}
+
+// --- hostile Content-Length (the remote-crash corpus) -----------------------
+
+TEST(HttpHardening, NonNumericContentLengthIsBadRequest) {
+  HttpRequest req;
+  EXPECT_EQ(parse("POST /p HTTP/1.1\r\nContent-Length: banana\r\n\r\n", req),
+            ReadStatus::kBadRequest);
+}
+
+TEST(HttpHardening, NegativeContentLengthIsBadRequest) {
+  HttpRequest req;
+  EXPECT_EQ(parse("POST /p HTTP/1.1\r\nContent-Length: -1\r\n\r\n", req),
+            ReadStatus::kBadRequest);
+}
+
+TEST(HttpHardening, EmptyContentLengthIsBadRequest) {
+  HttpRequest req;
+  EXPECT_EQ(parse("POST /p HTTP/1.1\r\nContent-Length: \r\n\r\n", req),
+            ReadStatus::kBadRequest);
+}
+
+TEST(HttpHardening, HugeContentLengthIsRejectedNotAllocated) {
+  // 2^64 overflows unsigned long; the old std::stoul path threw
+  // out_of_range and took the worker down. Now: kBadRequest, no 16 EiB
+  // allocation attempt.
+  HttpRequest req;
+  EXPECT_EQ(parse("POST /p HTTP/1.1\r\nContent-Length: 18446744073709551616\r\n\r\n", req),
+            ReadStatus::kBadRequest);
+}
+
+TEST(HttpHardening, OverCapContentLengthIsTooLarge) {
+  HttpRequest req;
+  EXPECT_EQ(parse("POST /p HTTP/1.1\r\nContent-Length: 1048577\r\n\r\n", req),
+            ReadStatus::kTooLarge);
+}
+
+TEST(HttpHardening, CustomCapApplies) {
+  HttpRequest req;
+  EXPECT_EQ(parse("POST /p HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world", req,
+                  /*maxBody=*/10),
+            ReadStatus::kTooLarge);
+  EXPECT_EQ(parse("POST /p HTTP/1.1\r\nContent-Length: 10\r\n\r\nhelloworld", req,
+                  /*maxBody=*/10),
+            ReadStatus::kOk);
+  EXPECT_EQ(req.body, "helloworld");
+}
+
+TEST(HttpHardening, TruncatedStartLineIsBadRequestNotOk) {
+  HttpRequest req;
+  EXPECT_EQ(parse("GET\r\n\r\n", req), ReadStatus::kBadRequest);
+}
+
+TEST(HttpHardening, EmptyStreamIsEof) {
+  HttpRequest req;
+  EXPECT_EQ(parse("", req), ReadStatus::kEof);
+}
+
+TEST(HttpHardening, WellFormedRequestStillParses) {
+  HttpRequest req;
+  ASSERT_EQ(parse("POST /p HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc", req),
+            ReadStatus::kOk);
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.body, "abc");
+}
+
+// --- case-insensitive headers -----------------------------------------------
+
+TEST(HttpHardening, LowercaseContentLengthFramesBody) {
+  HttpRequest req;
+  ASSERT_EQ(parse("POST /p HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello", req),
+            ReadStatus::kOk);
+  EXPECT_EQ(req.body, "hello");
+}
+
+TEST(HttpHardening, HeaderLookupIsCaseInsensitive) {
+  HttpRequest req;
+  ASSERT_EQ(parse("GET / HTTP/1.1\r\nX-MiXeD-CaSe: v\r\n\r\n", req), ReadStatus::kOk);
+  EXPECT_EQ(req.headers.at("x-mixed-case"), "v");
+  EXPECT_EQ(req.headers.at("X-MIXED-CASE"), "v");
+  EXPECT_EQ(req.headers.count("X-Mixed-Case"), 1u);
+}
+
+TEST(HttpHardening, DuplicateCaseVariantHeadersCollapse) {
+  HttpRequest req;
+  ASSERT_EQ(parse("GET / HTTP/1.1\r\nA: 1\r\na: 2\r\n\r\n", req), ReadStatus::kOk);
+  EXPECT_EQ(req.headers.size(), 1u);
+}
+
+// --- serialize fidelity -----------------------------------------------------
+
+TEST(HttpHardening, SerializeRequestEmitsOneContentLength) {
+  HttpRequest req;
+  req.method = "POST";
+  req.path = "/p";
+  req.headers["content-length"] = "3";  // caller already set it (any case)
+  req.body = "abc";
+  const std::string wire = serialize(req);
+  size_t count = 0;
+  std::string lower = wire;
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (size_t at = lower.find("content-length:"); at != std::string::npos;
+       at = lower.find("content-length:", at + 1))
+    count++;
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(HttpHardening, SerializeRequestRoundTrips) {
+  HttpRequest req;
+  req.method = "PUT";
+  req.path = "/kv/7";
+  req.body = "value";
+  auto pos = std::make_shared<size_t>(0);
+  HttpRequest back;
+  ASSERT_EQ(read_request_status(string_source(serialize(req), pos), back),
+            ReadStatus::kOk);
+  EXPECT_EQ(back.method, "PUT");
+  EXPECT_EQ(back.path, "/kv/7");
+  EXPECT_EQ(back.body, "value");
+}
+
+TEST(HttpHardening, ResponseStatusLineHasRealReasonPhrase) {
+  HttpResponse resp;
+  resp.status = 404;
+  EXPECT_NE(serialize(resp).find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+  resp.status = 503;
+  EXPECT_NE(serialize(resp).find("HTTP/1.1 503 Service Unavailable\r\n"),
+            std::string::npos);
+  resp.status = 299;  // unknown code in a known class
+  EXPECT_NE(serialize(resp).find("HTTP/1.1 299 OK\r\n"), std::string::npos);
+}
+
+TEST(HttpHardening, SerializeResponseAuthoritativeContentLength) {
+  HttpResponse resp;
+  resp.status = 200;
+  resp.headers["Content-Length"] = "999";  // stale caller value: ignored
+  resp.body = "four";
+  const std::string wire = serialize(resp);
+  EXPECT_NE(wire.find("Content-Length: 4\r\n"), std::string::npos);
+  EXPECT_EQ(wire.find("999"), std::string::npos);
+}
+
+TEST(HttpHardening, ResponseRoundTripsThroughStatusReader) {
+  HttpResponse resp;
+  resp.status = 201;
+  resp.body = "made";
+  auto pos = std::make_shared<size_t>(0);
+  HttpResponse back;
+  const std::string wire = serialize(resp);
+  ASSERT_EQ(read_response_status(string_source(wire, pos), back), ReadStatus::kOk);
+  EXPECT_EQ(back.status, 201);
+  EXPECT_EQ(back.body, "made");
+}
+
+// --- connect-timeout semantics ----------------------------------------------
+
+TEST(HttpHardening, ConnectTimeoutReturnsDeadSocketNotAbort) {
+  // No listener on this port: the old path SBD_CHECK_MSG-aborted the
+  // process. Now: a valid-but-dead socket (ECONNREFUSED semantics).
+  Socket s = Network::instance().connect(45999, /*timeoutMs=*/50);
+  ASSERT_TRUE(s.valid());
+  char buf[8];
+  EXPECT_EQ(s.read(buf, sizeof buf), 0u);  // immediate EOF
+  s.write("dropped", 7);                   // discarded, not a crash
+  s.close();
+}
+
+}  // namespace
+}  // namespace sbd::net

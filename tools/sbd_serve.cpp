@@ -1,0 +1,86 @@
+// sbd_serve — run the sbd::serve HTTP front end standalone.
+//
+// Binds the in-process loopback network, seeds the store, serves until
+// --duration-ms expires (or forever with 0 — useful only under a test
+// harness since the loopback net is process-local), then drains and
+// prints the "serve" metrics section. This is the operational face of
+// the serving scenario; bench/bench_serve drives it under load from
+// inside the same process.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "api/sbd.h"
+#include "core/obs.h"
+#include "db/db.h"
+#include "runtime/heap.h"
+#include "serve/serve.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--workers N] [--accounts N]\n"
+               "          [--balance N] [--duration-ms N] [--drain-ms N]\n"
+               "Serves GET/PUT /kv/<k> and POST /txfer on the in-process\n"
+               "loopback network for --duration-ms, then drains and prints\n"
+               "the serve metrics section.\n",
+               argv0);
+}
+
+long long arg_ll(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    usage(argv[0]);
+    std::exit(2);
+  }
+  return std::atoll(argv[++i]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sbd::serve::Config cfg;
+  int accounts = 64;
+  long long balance = 1000;
+  long long durationMs = 2000;
+  for (int i = 1; i < argc; i++) {
+    if (!std::strcmp(argv[i], "--port")) cfg.port = static_cast<int>(arg_ll(argc, argv, i));
+    else if (!std::strcmp(argv[i], "--workers")) cfg.workers = static_cast<int>(arg_ll(argc, argv, i));
+    else if (!std::strcmp(argv[i], "--accounts")) accounts = static_cast<int>(arg_ll(argc, argv, i));
+    else if (!std::strcmp(argv[i], "--balance")) balance = arg_ll(argc, argv, i);
+    else if (!std::strcmp(argv[i], "--duration-ms")) durationMs = arg_ll(argc, argv, i);
+    else if (!std::strcmp(argv[i], "--drain-ms")) cfg.drainTimeoutMs = static_cast<uint64_t>(arg_ll(argc, argv, i));
+    else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  SBD_ATTACH_THREAD();
+  sbd::db::Database db;
+  sbd::serve::ensure_tables(db);
+  if (accounts > 0) sbd::serve::seed_accounts(db, accounts, balance);
+  const int64_t before = sbd::serve::total_balance(db);
+
+  sbd::serve::Server server(db, cfg);
+  server.start();
+  std::printf("sbd_serve: port %d, %d workers, %d accounts x %lld\n",
+              server.port(), cfg.workers, accounts, balance);
+  if (durationMs > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(durationMs));
+  } else {
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+  server.shutdown();
+
+  const int64_t after = sbd::serve::total_balance(db);
+  std::printf("serve metrics: %s\n", sbd::serve::metrics_section().c_str());
+  std::printf("balance: before=%lld after=%lld %s\n",
+              static_cast<long long>(before), static_cast<long long>(after),
+              before == after ? "CONSERVED" : "VIOLATED");
+  sbd::obs::export_metrics_if_requested();
+  return before == after ? 0 : 1;
+}
