@@ -3,13 +3,19 @@
 // alone, and with the full pipeline; the table reports dynamic
 // lock-operation counts (the quantity the optimizations exist to cut)
 // and wall time.
+// Each variant runs on both execution backends; the bit-identity
+// contract (tests/il/il_backend_diff_test.cpp) means the two must
+// report the same result and dynamic lock-op count, so the table
+// shows one pair of time columns per variant.
 #include <cstdio>
 
 #include "api/sbd.h"
 #include "common/table.h"
 #include "common/timing.h"
+#include "il/compile.h"
 #include "il/interp.h"
 #include "il/opt.h"
+#include "il/summary.h"
 #include "il/transform.h"
 #include "runtime/heap.h"
 
@@ -75,6 +81,15 @@ int main() {
   std::vector<Variant> variants = {
       {"unoptimized", [](il::Module&) {}},
       {"O1 eliminate", [](il::Module& m) { il::eliminate_redundant_locks(m); }},
+      // O1 with call-graph summaries. The `scale` callee is pure, so the
+      // summary's contribution here is keeping facts alive across the
+      // call rather than exporting exit locks (bench_table7_lockops
+      // measures the exported-coverage case).
+      {"O1+interproc",
+       [](il::Module& m) {
+         const il::Summaries sums = il::compute_summaries(m);
+         il::eliminate_redundant_locks(m, &sums);
+       }},
       {"O2 hoist", [](il::Module& m) { il::hoist_loop_locks(m); }},
       {"O3 inline+O1",
        [](il::Module& m) {
@@ -85,41 +100,51 @@ int main() {
   };
 
   std::printf("=== Ablation A1: IL compile-time optimizations (paper 3.3) ===\n\n");
-  TextTable t({"Variant", "Static locks", "Dyn lock ops", "Time[ms]", "Result"});
+  TextTable t({"Variant", "Static locks", "Dyn lock ops", "Interp[ms]", "Compiled[ms]",
+               "Result"});
+  bool agree = true;
   for (auto& v : variants) {
     il::Module m;
     build_workload(m);
     il::insert_locks(m);
     v.prepare(m);
+    const il::CompiledModule cm = il::compile(m);
     const int staticLocks = il::count_ops(*m.get("hot"), il::Op::kLock);
-    uint64_t dynOps = 0;
-    int64_t result = 0;
-    double ms = 0;
-    run_sbd([&] {
-      auto* p = runtime::Heap::instance().alloc_object(acc_class());
-      auto* arr = runtime::Heap::instance().alloc_array(runtime::ElemKind::kI64,
-                                                        static_cast<uint64_t>(kIters));
-      for (int64_t i = 0; i < kIters; i++)
-        runtime::init_write_elem(arr, static_cast<uint64_t>(i), static_cast<uint64_t>(i % 7));
-      split();
-      auto& tc = core::tls_context();
-      const auto before = tc.stats;
-      Stopwatch sw;
-      result = il::execute(m, "hot",
-                           {reinterpret_cast<int64_t>(p), reinterpret_cast<int64_t>(arr),
-                            kIters});
-      ms = sw.seconds() * 1000;
-      const auto after = tc.stats;
-      dynOps = (after.checkNew - before.checkNew) + (after.checkOwned - before.checkOwned) +
-               (after.acqRls - before.acqRls) + (after.lockInit - before.lockInit);
-    });
-    t.add_row({v.name, std::to_string(staticLocks), std::to_string(dynOps),
-               TextTable::fmt(ms, 1), std::to_string(result)});
+    uint64_t dynOps[2] = {0, 0};
+    int64_t result[2] = {0, 0};
+    double ms[2] = {0, 0};
+    for (int be = 0; be < 2; be++) {
+      run_sbd([&] {
+        auto* p = runtime::Heap::instance().alloc_object(acc_class());
+        auto* arr = runtime::Heap::instance().alloc_array(runtime::ElemKind::kI64,
+                                                          static_cast<uint64_t>(kIters));
+        for (int64_t i = 0; i < kIters; i++)
+          runtime::init_write_elem(arr, static_cast<uint64_t>(i),
+                                   static_cast<uint64_t>(i % 7));
+        split();
+        auto& tc = core::tls_context();
+        const auto before = tc.stats;
+        Stopwatch sw;
+        const std::vector<int64_t> args{reinterpret_cast<int64_t>(p),
+                                        reinterpret_cast<int64_t>(arr), kIters};
+        result[be] = be ? il::execute(cm, "hot", args) : il::execute(m, "hot", args);
+        ms[be] = sw.seconds() * 1000;
+        const auto d = tc.stats.diff(before);
+        dynOps[be] = d.checkNew + d.checkOwned + d.acqRls + d.lockInit;
+      });
+    }
+    if (result[0] != result[1] || dynOps[0] != dynOps[1]) {
+      std::fprintf(stderr, "FAIL: backends disagree at variant %s\n", v.name);
+      agree = false;
+    }
+    t.add_row({v.name, std::to_string(staticLocks), std::to_string(dynOps[0]),
+               TextTable::fmt(ms[0], 1), TextTable::fmt(ms[1], 1),
+               std::to_string(result[0])});
   }
   t.print();
   std::printf(
-      "\nShape check: every variant computes the same result; the full pipeline\n"
-      "removes most dynamic lock operations (the paper's Table 7 counts are\n"
-      "post-optimization numbers).\n");
-  return 0;
+      "\nShape check: every variant computes the same result on both backends;\n"
+      "the full pipeline removes most dynamic lock operations (the paper's\n"
+      "Table 7 counts are post-optimization numbers).\n");
+  return agree ? 0 : 1;
 }

@@ -65,10 +65,12 @@ class CanSplitScope {
   core::ThreadContext& tc_;
 };
 
-// Marks a call site that permits the callee to split (allowSplit).
+// Marks a call site that permits the callee to split (allowSplit). The
+// tc-taking overload is for code that already holds the cached context
+// (the pattern the IL backends compile to: one tls_context() per
+// section, cached through every handler and call site).
 template <typename Fn>
-auto allow_split(Fn&& fn) {
-  auto& tc = core::tls_context();
+auto allow_split(core::ThreadContext& tc, Fn&& fn) {
   SBD_CHECK_MSG(tc.canSplitDepth > 0, "allowSplit in a method without canSplit");
   tc.allowSplitArmed = true;
   struct Disarm {
@@ -76,6 +78,11 @@ auto allow_split(Fn&& fn) {
     ~Disarm() { tc.allowSplitArmed = false; }
   } disarm{tc};
   return fn();
+}
+
+template <typename Fn>
+auto allow_split(Fn&& fn) {
+  return allow_split(core::tls_context(), std::forward<Fn>(fn));
 }
 
 // noSplit { ... } — composes canSplit operations into one atomic

@@ -4,36 +4,16 @@
 
 #include "api/sbd.h"
 #include "common/check.h"
+#include "il/lowering.h"
 #include "tio/console.h"
 
 namespace sbd::il {
 
 namespace {
 
-constexpr int kMaxLocals = 128;
-constexpr int kMaxDepth = 64;
-
 using runtime::ManagedObject;
 
 ManagedObject* as_obj(int64_t v) { return reinterpret_cast<ManagedObject*>(v); }
-
-int64_t eval_bin(BinOp op, int64_t l, int64_t r) {
-  switch (op) {
-    case BinOp::kAdd: return l + r;
-    case BinOp::kSub: return l - r;
-    case BinOp::kMul: return l * r;
-    case BinOp::kDiv: return r ? l / r : 0;
-    case BinOp::kMod: return r ? l % r : 0;
-    case BinOp::kAnd: return l & r;
-    case BinOp::kOr: return l | r;
-    case BinOp::kXor: return l ^ r;
-    case BinOp::kLt: return l < r;
-    case BinOp::kLe: return l <= r;
-    case BinOp::kEq: return l == r;
-    case BinOp::kNe: return l != r;
-  }
-  return 0;
-}
 
 int64_t exec_fn(const Module& m, const Function& f, const int64_t* args, int depth) {
   SBD_CHECK_MSG(depth < kMaxDepth, "IL call depth exceeded");
@@ -42,17 +22,7 @@ int64_t exec_fn(const Module& m, const Function& f, const int64_t* args, int dep
   auto& tc = core::tls_context();
   // The canSplit modifier as a dynamic scope: canSplit functions open a
   // scope (arming is the caller's job via the allowSplit flag).
-  int savedCanSplit = -1;
-  if (f.canSplit) {
-    SBD_CHECK_MSG(tc.canSplitDepth > 0 || tc.allowSplitArmed,
-                  "IL canSplit function invoked without allowSplit");
-    tc.allowSplitArmed = false;
-    tc.canSplitDepth++;
-  } else {
-    // Non-canSplit functions mask splits entirely.
-    savedCanSplit = tc.canSplitDepth;
-    tc.canSplitDepth = 0;
-  }
+  CanSplitScope scope(tc, f.canSplit);
 
   int64_t locals[kMaxLocals] = {};
   for (int i = 0; i < f.numParams; i++) locals[i] = args[i];
@@ -196,11 +166,7 @@ int64_t exec_fn(const Module& m, const Function& f, const int64_t* args, int dep
       break;  // fell off the end: implicit void return
   }
 
-  if (f.canSplit)
-    tc.canSplitDepth--;
-  else
-    tc.canSplitDepth = savedCanSplit;
-  return result;
+  return result;  // CanSplitScope unwinds the canSplit dynamic scope
 }
 
 }  // namespace

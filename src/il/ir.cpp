@@ -201,4 +201,35 @@ int count_ops(const Function& f, Op op) {
   return n;
 }
 
+int defined_local(const Instr& i) {
+  switch (i.op) {
+    case Op::kConst:
+    case Op::kMove:
+    case Op::kBin:
+    case Op::kNew:
+    case Op::kNewArr:
+    case Op::kGetF:
+    case Op::kGetFNl:
+    case Op::kGetE:
+    case Op::kGetENl:
+    case Op::kLen:
+      return i.a;
+    case Op::kCall:
+      return i.a;  // may be -1 (void)
+    default:
+      return -1;
+  }
+}
+
+std::vector<std::vector<int>> predecessors(const Function& f) {
+  std::vector<std::vector<int>> preds(f.blocks.size());
+  for (size_t b = 0; b < f.blocks.size(); b++) {
+    const Block& blk = f.blocks[b];
+    if (blk.next >= 0) preds[static_cast<size_t>(blk.next)].push_back(static_cast<int>(b));
+    if (blk.condLocal >= 0 && blk.nextAlt >= 0)
+      preds[static_cast<size_t>(blk.nextAlt)].push_back(static_cast<int>(b));
+  }
+  return preds;
+}
+
 }  // namespace sbd::il

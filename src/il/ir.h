@@ -159,4 +159,17 @@ std::string to_string(const Instr& i);
 // Counts instructions with a given opcode (test/ablation helper).
 int count_ops(const Function& f, Op op);
 
+// --- Shared lowering contract ----------------------------------------------
+// The analyses (opt, summary, verify) and both execution backends
+// (interp, compile) agree on these structural facts about IL; keeping
+// them here is what lets a lock eliminated by the optimizer stay sound
+// under either backend.
+
+// The local an instruction assigns, or -1. (kCall may return -1: void.)
+int defined_local(const Instr& i);
+
+// CFG predecessors, indexed by block. Callers must have validated
+// branch targets (the verifier's structural pass does).
+std::vector<std::vector<int>> predecessors(const Function& f);
+
 }  // namespace sbd::il

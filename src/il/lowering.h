@@ -1,0 +1,85 @@
+// The shared lowering contract between the two execution backends.
+//
+// interp.cpp (tree walker) and compile.cpp (threaded code) must agree
+// on every observable detail of IL execution — frame limits, arithmetic,
+// the canSplit dynamic scope, and which runtime entry point each opcode
+// maps to — because the differential suite asserts bit-identical
+// results AND bit-identical StatsCounters deltas between them. Anything
+// both backends need lives here; a semantic change made in only one
+// backend is a bug the diff tests are designed to catch.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "core/transaction.h"
+#include "il/ir.h"
+
+namespace sbd::il {
+
+// Frame limits (both backends allocate fixed-size C++ stack frames so
+// the STM checkpoint/restore abort path rolls frames back for free).
+inline constexpr int kMaxLocals = 128;
+inline constexpr int kMaxDepth = 64;
+
+inline int64_t eval_bin(BinOp op, int64_t l, int64_t r) {
+  switch (op) {
+    case BinOp::kAdd: return l + r;
+    case BinOp::kSub: return l - r;
+    case BinOp::kMul: return l * r;
+    case BinOp::kDiv: return r ? l / r : 0;
+    case BinOp::kMod: return r ? l % r : 0;
+    case BinOp::kAnd: return l & r;
+    case BinOp::kOr: return l | r;
+    case BinOp::kXor: return l ^ r;
+    case BinOp::kLt: return l < r;
+    case BinOp::kLe: return l <= r;
+    case BinOp::kEq: return l == r;
+    case BinOp::kNe: return l != r;
+  }
+  return 0;
+}
+
+// The canSplit modifier as a dynamic scope (§2.2), entered on function
+// entry and exited on return. canSplit functions require an armed
+// allowSplit call site (or an already-open canSplit scope) and open a
+// new one; non-canSplit functions mask splits entirely for their
+// dynamic extent.
+// `engaged = false` elides the bookkeeping entirely — sound only when
+// the compiler has proven no split (and no canSplit entry check) can
+// execute within the function's dynamic extent, making the depth
+// save/restore unobservable (compile.cpp's needsScope analysis; canSplit
+// functions are always engaged).
+class CanSplitScope {
+ public:
+  CanSplitScope(core::ThreadContext& tc, bool canSplit, bool engaged = true)
+      : tc_(tc), canSplit_(canSplit), engaged_(engaged) {
+    if (!engaged_) return;
+    if (canSplit_) {
+      SBD_CHECK_MSG(tc_.canSplitDepth > 0 || tc_.allowSplitArmed,
+                    "IL canSplit function invoked without allowSplit");
+      tc_.allowSplitArmed = false;
+      tc_.canSplitDepth++;
+    } else {
+      saved_ = tc_.canSplitDepth;
+      tc_.canSplitDepth = 0;
+    }
+  }
+  ~CanSplitScope() {
+    if (!engaged_) return;
+    if (canSplit_)
+      tc_.canSplitDepth--;
+    else
+      tc_.canSplitDepth = saved_;
+  }
+  CanSplitScope(const CanSplitScope&) = delete;
+  CanSplitScope& operator=(const CanSplitScope&) = delete;
+
+ private:
+  core::ThreadContext& tc_;
+  bool canSplit_;
+  bool engaged_;
+  int saved_ = 0;
+};
+
+}  // namespace sbd::il

@@ -1,327 +1,52 @@
 #include "il/opt.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "common/check.h"
-#include "runtime/lockplan.h"
 
 namespace sbd::il {
-
-namespace {
-
-// ---------------------------------------------------------------------------
-// Must-locked dataflow state
-// ---------------------------------------------------------------------------
-
-// A fact encodes: base local | location (field index or element-index
-// local) | field-vs-element | mode.
-uint64_t fact_key(int base, int fieldOrIdx, bool isElem, LockMode mode) {
-  return (static_cast<uint64_t>(base) << 32) |
-         (static_cast<uint64_t>(static_cast<uint32_t>(fieldOrIdx)) << 2) |
-         (isElem ? 2u : 0u) | (mode == LockMode::kWrite ? 1u : 0u);
-}
-
-// Facts keyed through a class's LockMap: "this transaction holds the
-// lock WORD that cls's map assigns to mapped index `lockIdx` of the
-// object in local `base`". These let locks on *different* slots that
-// share a word dedupe statically — but only READ locks may be
-// eliminated this way: eliminating a write lock would also skip its
-// undo logging (the no-lock store never reaches the runtime's
-// coarse-map owned-path re-log), and there is no covering undo entry
-// for a slot that was never written before.
-struct MappedFact {
-  int base;
-  uint32_t lockIdx;
-  bool write;
-  const runtime::ClassInfo* cls;
-  bool operator<(const MappedFact& o) const {
-    if (base != o.base) return base < o.base;
-    if (lockIdx != o.lockIdx) return lockIdx < o.lockIdx;
-    if (write != o.write) return write < o.write;
-    return cls < o.cls;
-  }
-  bool operator==(const MappedFact& o) const {
-    return base == o.base && lockIdx == o.lockIdx && write == o.write && cls == o.cls;
-  }
-};
-
-// A class's LockMap may be consulted at optimization time only if it
-// cannot change afterwards: any fixed SBD_LOCK_GRANULARITY mode, or a
-// pinned class under adaptive (pins are permanent). A later
-// set_lock_granularity() call invalidates modules optimized before it
-// — the documented JIT-style contract (SEMANTICS.md).
-bool map_is_static(const runtime::ClassInfo* cls) {
-  using runtime::lockplan::Mode;
-  return runtime::lockplan::mode() != Mode::kAdaptive ||
-         cls->lockMapPinned.load(std::memory_order_relaxed);
-}
-
-// Versioned maps need no special casing in this pass. Invisible reads
-// exist only on the value paths (kGetF/kGetE -> tx_read*), which O1
-// never rewrites; a kLock on a versioned class acquires the covered
-// word EXCLUSIVELY (runtime/field_access.h pins the IL path to
-// versioned_acquire_write), so a held fact still means "this word
-// cannot change until the section ends" — exactly the invariant
-// redundant-lock elimination relies on. If kLock were ever lowered to
-// an invisible read-set append instead, eliminating a covered re-lock
-// would skip that read's stale check and admit zombie executions; any
-// such change must add a versioned gate here.
-
-struct State {
-  bool top = true;  // "unvisited": identity of the intersection meet
-  std::set<uint64_t> facts;
-  std::set<MappedFact> mapped;
-  std::set<int> newLocals;  // locals known to hold this-transaction-new objects
-
-  bool meet(const State& other) {  // returns true if changed
-    if (other.top) return false;
-    if (top) {
-      top = false;
-      facts = other.facts;
-      mapped = other.mapped;
-      newLocals = other.newLocals;
-      return true;
-    }
-    bool changed = false;
-    for (auto it = facts.begin(); it != facts.end();) {
-      if (!other.facts.count(*it)) {
-        it = facts.erase(it);
-        changed = true;
-      } else {
-        ++it;
-      }
-    }
-    for (auto it = mapped.begin(); it != mapped.end();) {
-      if (!other.mapped.count(*it)) {
-        it = mapped.erase(it);
-        changed = true;
-      } else {
-        ++it;
-      }
-    }
-    for (auto it = newLocals.begin(); it != newLocals.end();) {
-      if (!other.newLocals.count(*it)) {
-        it = newLocals.erase(it);
-        changed = true;
-      } else {
-        ++it;
-      }
-    }
-    return changed;
-  }
-
-  void kill_local(int l) {
-    newLocals.erase(l);
-    for (auto it = facts.begin(); it != facts.end();) {
-      const int base = static_cast<int>(*it >> 32);
-      const bool isElem = (*it & 2u) != 0;
-      const int loc = static_cast<int>((*it >> 2) & 0x3FFFFFFF);
-      if (base == l || (isElem && loc == l))
-        it = facts.erase(it);
-      else
-        ++it;
-    }
-    // Mapped facts never reference an index local (element form exists
-    // only for object maps, where the index is irrelevant), so only
-    // the base can die.
-    for (auto it = mapped.begin(); it != mapped.end();) {
-      if (it->base == l)
-        it = mapped.erase(it);
-      else
-        ++it;
-    }
-  }
-
-  void clear_all() {
-    facts.clear();
-    mapped.clear();
-    newLocals.clear();
-  }
-
-  bool covers(int base, int fieldOrIdx, bool isElem, LockMode mode) const {
-    if (newLocals.count(base)) return true;  // new instances need no lock
-    if (facts.count(fact_key(base, fieldOrIdx, isElem, LockMode::kWrite))) return true;
-    if (mode == LockMode::kRead &&
-        facts.count(fact_key(base, fieldOrIdx, isElem, LockMode::kRead)))
-      return true;
-    return false;
-  }
-
-  // Read coverage through the LockMap: a held word — read- or
-  // write-locked — covers any read it protects.
-  bool covers_mapped(int base, uint32_t lockIdx, const runtime::ClassInfo* cls) const {
-    return mapped.count(MappedFact{base, lockIdx, true, cls}) ||
-           mapped.count(MappedFact{base, lockIdx, false, cls});
-  }
-};
-
-// The local an instruction assigns, or -1.
-int defined_local(const Instr& i) {
-  switch (i.op) {
-    case Op::kConst:
-    case Op::kMove:
-    case Op::kBin:
-    case Op::kNew:
-    case Op::kNewArr:
-    case Op::kGetF:
-    case Op::kGetFNl:
-    case Op::kGetE:
-    case Op::kGetENl:
-    case Op::kLen:
-      return i.a;
-    case Op::kCall:
-      return i.a;  // may be -1 (void)
-    default:
-      return -1;
-  }
-}
-
-bool call_may_split(const Instr& i, const Module& m) {
-  const Function* callee = m.get(i.calleeName);
-  return callee == nullptr || callee->canSplit;
-}
-
-// Applies one instruction's transfer function. `eliminate` is set for
-// kLock instructions whose location is already covered.
-void transfer(State& st, const Instr& i, const Module& m, bool* eliminate) {
-  if (eliminate) *eliminate = false;
-  switch (i.op) {
-    case Op::kLock: {
-      const bool isElem = i.c >= 0;
-      const int loc = isElem ? i.c : i.b;
-      // Mapped lock index, when the static class annotation and its
-      // immutable LockMap determine it: any map kind for field locks
-      // (constant field index), object maps for element locks (every
-      // index hits word 0 regardless of the index local's value).
-      int mappedIdx = -1;
-      if (i.cls != nullptr && map_is_static(i.cls)) {
-        const runtime::LockMap map = i.cls->lock_map();
-        if (!isElem)
-          mappedIdx = static_cast<int>(map.index(static_cast<uint32_t>(loc)));
-        else if (map.kind == runtime::LockMap::kObject)
-          mappedIdx = 0;
-      }
-      bool covered = st.covers(i.a, loc, isElem, i.mode);
-      if (!covered && mappedIdx >= 0 && i.mode == LockMode::kRead)
-        covered = st.covers_mapped(i.a, static_cast<uint32_t>(mappedIdx), i.cls);
-      if (covered) {
-        if (eliminate) *eliminate = true;
-        return;  // no new fact; the covering fact remains
-      }
-      st.facts.insert(fact_key(i.a, loc, isElem, i.mode));
-      if (mappedIdx >= 0)
-        st.mapped.insert(MappedFact{i.a, static_cast<uint32_t>(mappedIdx),
-                                    i.mode == LockMode::kWrite, i.cls});
-      return;
-    }
-    case Op::kSplit:
-      st.clear_all();
-      return;
-    case Op::kCall: {
-      if (call_may_split(i, m)) st.clear_all();
-      const int d = defined_local(i);
-      if (d >= 0) st.kill_local(d);
-      return;
-    }
-    case Op::kNew:
-    case Op::kNewArr: {
-      st.kill_local(i.a);
-      st.newLocals.insert(i.a);
-      return;
-    }
-    case Op::kMove: {
-      // Copy propagation: after a = b both locals alias the same object,
-      // so facts on b transfer to a. This is what lets the analysis see
-      // through the argument moves the inliner introduces.
-      const bool srcNew = st.newLocals.count(i.b) > 0;
-      std::vector<uint64_t> copied;
-      for (uint64_t k : st.facts) {
-        if (static_cast<int>(k >> 32) == i.b)
-          copied.push_back((k & 0xFFFFFFFFull) | (static_cast<uint64_t>(i.a) << 32));
-      }
-      std::vector<MappedFact> copiedMapped;
-      for (const MappedFact& mf : st.mapped) {
-        if (mf.base == i.b) {
-          MappedFact c = mf;
-          c.base = i.a;
-          copiedMapped.push_back(c);
-        }
-      }
-      st.kill_local(i.a);
-      if (i.a != i.b) {
-        for (uint64_t k : copied) st.facts.insert(k);
-        for (const MappedFact& mf : copiedMapped) st.mapped.insert(mf);
-        if (srcNew) st.newLocals.insert(i.a);
-      }
-      return;
-    }
-    default: {
-      const int d = defined_local(i);
-      if (d >= 0) st.kill_local(d);
-      return;
-    }
-  }
-}
-
-std::vector<std::vector<int>> predecessors(const Function& f) {
-  std::vector<std::vector<int>> preds(f.blocks.size());
-  for (size_t b = 0; b < f.blocks.size(); b++) {
-    const Block& blk = f.blocks[b];
-    if (blk.next >= 0) preds[static_cast<size_t>(blk.next)].push_back(static_cast<int>(b));
-    if (blk.condLocal >= 0 && blk.nextAlt >= 0)
-      preds[static_cast<size_t>(blk.nextAlt)].push_back(static_cast<int>(b));
-  }
-  return preds;
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // O1: redundant-lock elimination
 // ---------------------------------------------------------------------------
+// The must-locked dataflow itself (LockState/transfer/solve_must_locked)
+// lives in summary.cpp, shared with the verifier and the summary
+// builder; this pass only adds the rewrite.
 
-OptStats eliminate_redundant_locks(Function& f, const Module& m) {
+OptStats eliminate_redundant_locks(Function& f, const Module& m,
+                                   const Summaries* sums) {
   OptStats stats;
-  const size_t n = f.blocks.size();
-  auto preds = predecessors(f);
-  std::vector<State> in(n), out(n);
-  in[0].top = false;  // entry starts with no facts
+  const auto in = solve_must_locked(f, m, sums);
 
-  // Fixpoint.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (size_t b = 0; b < n; b++) {
-      State cur = in[b];
-      for (size_t p = 0; p < preds[b].size(); p++)
-        cur.meet(out[static_cast<size_t>(preds[b][p])]);
-      if (b == 0) cur.top = false;
-      // Recompute out.
-      State o = cur;
-      if (!o.top)
-        for (const Instr& i : f.blocks[b].instrs) transfer(o, i, m, nullptr);
-      // Detect change.
-      if (o.top != out[b].top || o.facts != out[b].facts ||
-          o.mapped != out[b].mapped || o.newLocals != out[b].newLocals) {
-        out[b] = std::move(o);
-        changed = true;
-      }
-      in[b] = std::move(cur);
-    }
-  }
-
-  // Rewrite: drop covered locks.
-  for (size_t b = 0; b < n; b++) {
+  // Rewrite: drop covered locks. Instructions after a kRet in the same
+  // block are unreachable — copied verbatim, never eliminated (the
+  // dataflow does not flow past the return either).
+  for (size_t b = 0; b < f.blocks.size(); b++) {
     if (in[b].top) continue;  // unreachable
-    State st = in[b];
+    LockState st = in[b];
     std::vector<Instr> kept;
     kept.reserve(f.blocks[b].instrs.size());
+    bool returned = false;
     for (const Instr& i : f.blocks[b].instrs) {
+      if (returned) {
+        kept.push_back(i);
+        continue;
+      }
+      if (i.op == Op::kRet) returned = true;
+      // Attribution must be read before transfer() consumes the state.
+      bool viaCall = false;
+      if (i.op == Op::kLock) {
+        const bool isElem = i.c >= 0;
+        viaCall = st.covered_by_call(i.a, isElem ? i.c : i.b, isElem, i.cls,
+                                     mapped_lock_index(i));
+      }
       bool kill = false;
-      transfer(st, i, m, &kill);
+      transfer(st, i, m, sums, &kill);
       if (kill && i.op == Op::kLock) {
         stats.locksEliminated++;
+        if (viaCall) stats.crossCallEliminated++;
         continue;
       }
       kept.push_back(i);
@@ -331,11 +56,12 @@ OptStats eliminate_redundant_locks(Function& f, const Module& m) {
   return stats;
 }
 
-OptStats eliminate_redundant_locks(Module& m) {
+OptStats eliminate_redundant_locks(Module& m, const Summaries* sums) {
   OptStats total;
   for (auto& [name, f] : m.functions) {
-    OptStats s = eliminate_redundant_locks(*f, m);
+    OptStats s = eliminate_redundant_locks(*f, m, sums);
     total.locksEliminated += s.locksEliminated;
+    total.crossCallEliminated += s.crossCallEliminated;
   }
   return total;
 }
@@ -682,13 +408,34 @@ OptStats inline_small(Module& m, int maxCalleeInstrs) {
   return stats;
 }
 
-OptStats optimize(Module& m) {
-  OptStats total = inline_small(m);
-  OptStats e1 = eliminate_redundant_locks(m);
-  OptStats h = hoist_loop_locks(m);
-  OptStats e2 = eliminate_redundant_locks(m);
-  total.locksEliminated = e1.locksEliminated + e2.locksEliminated;
-  total.locksHoisted = h.locksHoisted;
+// ---------------------------------------------------------------------------
+// The pipeline
+// ---------------------------------------------------------------------------
+
+OptStats optimize(Module& m, bool interproc, bool inlineSmall) {
+  OptStats total = inlineSmall ? inline_small(m) : OptStats{};
+  // O1 and O2 feed each other (a hoisted lock dominates the loop body;
+  // an eliminated lock shrinks a callee and sharpens its summary), so
+  // iterate the pair to a fixed point instead of the old hard-coded
+  // O1,O2,O1 sequence. Termination: each round either removes a kLock
+  // (finite supply) or moves one strictly outward (bounded nesting);
+  // a round that does neither is the last.
+  bool changed = true;
+  while (changed) {
+    total.rounds++;
+    Summaries sums;
+    const Summaries* sp = nullptr;
+    if (interproc) {
+      sums = compute_summaries(m);
+      sp = &sums;
+    }
+    const OptStats e = eliminate_redundant_locks(m, sp);
+    const OptStats h = hoist_loop_locks(m);
+    total.locksEliminated += e.locksEliminated;
+    total.crossCallEliminated += e.crossCallEliminated;
+    total.locksHoisted += h.locksHoisted;
+    changed = e.locksEliminated > 0 || h.locksHoisted > 0;
+  }
   return total;
 }
 

@@ -1,5 +1,6 @@
 #include "runtime/lockplan.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -271,7 +272,13 @@ void controller_main() {
   while (!gCtlStop.load(std::memory_order_acquire)) {
     replan_now();
     core::Safepoint::SafeScope safe(tc);
-    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms()));
+    // Sleep in short slices so stop_controller() (atexit) is not held
+    // hostage by a long replan interval.
+    for (uint64_t slept = 0; slept < interval_ms(); slept += 50) {
+      if (gCtlStop.load(std::memory_order_acquire)) break;
+      const uint64_t slice = std::min<uint64_t>(50, interval_ms() - slept);
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    }
   }
 }
 

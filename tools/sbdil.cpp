@@ -1,10 +1,13 @@
 // sbdil — the SBD-IL driver tool: assemble, verify, transform,
-// optimize, dump, and execute textual IL programs against the real STM.
+// optimize, compile, dump, and execute textual IL programs against the
+// real STM.
 //
 //   sbdil prog.sbdil                      # run fn `main` (no args)
 //   sbdil prog.sbdil --entry f --args 3,4 # run `f(3, 4)`
 //   sbdil prog.sbdil --optimize --stats   # full pipeline + lock-op counts
+//   sbdil prog.sbdil --backend=compiled   # threaded-code backend
 //   sbdil prog.sbdil --dump               # print the (transformed) IL
+//   sbdil prog.sbdil --dump-summaries     # print per-function LockSummaries
 //   sbdil prog.sbdil --verify-only
 #include <cstdio>
 #include <fstream>
@@ -13,8 +16,10 @@
 #include "api/sbd.h"
 #include "common/options.h"
 #include "il/asm.h"
+#include "il/compile.h"
 #include "il/interp.h"
 #include "il/opt.h"
+#include "il/summary.h"
 #include "il/transform.h"
 #include "il/verify.h"
 
@@ -38,8 +43,8 @@ int main(int argc, char** argv) {
   if (argc < 2 || argv[1][0] == '-') {
     std::fprintf(stderr,
                  "usage: sbdil <file.sbdil> [--entry NAME] [--args a,b,...]\n"
-                 "             [--optimize] [--no-locks] [--dump] [--verify-only]\n"
-                 "             [--stats]\n");
+                 "             [--optimize] [--no-locks] [--backend=interp|compiled]\n"
+                 "             [--dump] [--dump-summaries] [--verify-only] [--stats]\n");
     return 2;
   }
 
@@ -70,8 +75,24 @@ int main(int argc, char** argv) {
   if (!opts.get_bool("no-locks", false)) sbd::il::insert_locks(m);
   if (opts.get_bool("optimize", false)) {
     const auto s = sbd::il::optimize(m);
-    std::fprintf(stderr, "optimize: %d eliminated, %d hoisted, %d inlined\n",
-                 s.locksEliminated, s.locksHoisted, s.callsInlined);
+    std::fprintf(stderr,
+                 "optimize: %d eliminated (%d via call summaries), %d hoisted, "
+                 "%d inlined, %d rounds\n",
+                 s.locksEliminated, s.crossCallEliminated, s.locksHoisted,
+                 s.callsInlined, s.rounds);
+    // The transformed module must still pass the coverage verifier
+    // (V6): every no-lock access covered by a must-held lock. Running
+    // it here makes the tool a soundness oracle for the optimizer.
+    const auto sums = sbd::il::compute_summaries(m);
+    const auto vdiags = sbd::il::verify(m, sums);
+    for (const auto& d : vdiags) std::fprintf(stderr, "verify: %s\n", d.c_str());
+    if (!vdiags.empty()) return 1;
+  }
+
+  if (opts.get_bool("dump-summaries", false)) {
+    const auto sums = sbd::il::compute_summaries(m);
+    std::fputs(sbd::il::dump_summaries(m, sums).c_str(), stdout);
+    return 0;
   }
 
   if (opts.get_bool("dump", false)) {
@@ -87,12 +108,23 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const std::string backend = opts.get_str("backend", "interp");
+  if (backend != "interp" && backend != "compiled") {
+    std::fprintf(stderr, "sbdil: unknown backend '%s'\n", backend.c_str());
+    return 2;
+  }
+
   int64_t result = 0;
   uint64_t lockOps = 0;
   sbd::run_sbd([&] {
     auto& tc = sbd::core::tls_context();
     const auto before = tc.stats;
-    result = sbd::il::execute(m, entry, args);
+    if (backend == "compiled") {
+      const auto cm = sbd::il::compile(m);
+      result = sbd::il::execute(cm, entry, args);
+    } else {
+      result = sbd::il::execute(m, entry, args);
+    }
     const auto after = tc.stats;
     lockOps = (after.acqRls - before.acqRls) + (after.checkOwned - before.checkOwned) +
               (after.checkNew - before.checkNew) + (after.lockInit - before.lockInit);
